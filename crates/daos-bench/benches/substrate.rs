@@ -1,0 +1,66 @@
+//! Substrate hot paths: the resident-touch fast path, the fault path,
+//! and DAMOS pageout throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daos_mm::access::AccessBatch;
+use daos_mm::machine::MachineProfile;
+use daos_mm::swap::SwapConfig;
+use daos_mm::system::MemorySystem;
+use daos_mm::vma::ThpMode;
+use std::hint::black_box;
+
+const REGION: u64 = 16 << 20; // 4096 pages
+
+fn fresh_system() -> (MemorySystem, u32, daos_mm::addr::AddrRange) {
+    let mut m = MachineProfile::test_tiny();
+    m.dram_bytes = 256 << 20;
+    let mut sys = MemorySystem::new(m, SwapConfig::paper_zram(), 1);
+    let pid = sys.spawn();
+    let range = sys.mmap(pid, REGION, ThpMode::Never).unwrap();
+    (sys, pid, range)
+}
+
+fn bench_resident_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_access");
+    group.throughput(Throughput::Elements(REGION / 4096));
+    group.sample_size(30);
+    group.bench_function("resident_touch_all", |b| {
+        let (mut sys, pid, range) = fresh_system();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        b.iter(|| black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap()));
+    });
+    group.bench_function("random_touch_256", |b| {
+        let (mut sys, pid, range) = fresh_system();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        b.iter(|| black_box(sys.apply_access(pid, &AccessBatch::random(range, 256, 1.0)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_fault_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(20);
+    group.bench_function("minor_fault_region", |b| {
+        b.iter_with_setup(fresh_system, |(mut sys, pid, range)| {
+            black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
+        });
+    });
+    group.bench_function("pageout_then_major_fault_region", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut sys, pid, range) = fresh_system();
+                sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+                sys.pageout(pid, range).unwrap(); // reference pass
+                sys.pageout(pid, range).unwrap(); // eviction
+                (sys, pid, range)
+            },
+            |(mut sys, pid, range)| {
+                black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resident_touch, bench_fault_paths);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # daos-bench — the paper's evaluation harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md §3 for
+//! the experiment index), plus criterion micro-benchmarks:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1_actions` | Table 1 — supported scheme actions |
+//! | `table2_machines` | Table 2 — machine profiles |
+//! | `fig3_patterns` | Fig. 3 — six score patterns |
+//! | `fig4_score_sweep` | Fig. 4 — prcl scores vs min_age |
+//! | `fig5_estimation` | Fig. 5 — tuner trend estimation |
+//! | `fig6_heatmaps` | Fig. 6 — access-pattern heatmaps |
+//! | `fig7_overhead_benefit` | Fig. 7 — overhead & scheme benefits |
+//! | `fig8_autotune` | Fig. 8 — manual vs auto-tuned prcl |
+//! | `fig9_production` | Fig. 9 — serverless production RSS |
+//!
+//! Scaling: `DAOS_QUICK=1` smoke grids, default full-qualitative grids,
+//! `DAOS_FULL=1` the paper-exact grids. Artifacts land in `./results`.
+
+pub mod pool;
+pub mod report;
+pub mod scale;
+pub mod sweep;

@@ -1,0 +1,84 @@
+//! A tiny work-distributing map over crossbeam scoped threads.
+//!
+//! Figure sweeps run hundreds of independent simulations; this spreads
+//! them over the available cores (degrading gracefully to serial on a
+//! single-core box). Simulations are deterministic, so parallel and
+//! serial execution produce identical numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Map `f` over `items` in parallel, preserving order of results.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nr_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if nr_threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..nr_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().take().expect("each index claimed once");
+                *outputs[i].lock() = Some(f(item));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().expect("all indices processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = par_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |x: i32| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn non_copy_items() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let out = par_map(items, |s| s.len());
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Experiment grid scaling.
+//!
+//! The full paper grids (Fig. 4: 16 workloads × 61 min_age values × 3
+//! machines × 3 repeats) take tens of minutes on one core. The default
+//! grids preserve every qualitative result at a fraction of the cost;
+//! set `DAOS_FULL=1` for the paper-exact grid or `DAOS_QUICK=1` for a
+//! smoke-test pass.
+
+use daos_workloads::{fig4_subset, paper_suite, WorkloadSpec};
+
+/// Grid density selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke test: minutes → seconds.
+    Quick,
+    /// Default: full qualitative coverage.
+    Default,
+    /// The paper's exact grid.
+    Full,
+}
+
+impl Scale {
+    /// Read from the environment (`DAOS_QUICK` / `DAOS_FULL`).
+    pub fn from_env() -> Scale {
+        let set = |k: &str| std::env::var(k).map(|v| v != "0" && !v.is_empty()).unwrap_or(false);
+        if set("DAOS_FULL") {
+            Scale::Full
+        } else if set("DAOS_QUICK") {
+            Scale::Quick
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// min_age grid (seconds) for the Fig. 4 sweep; the paper uses
+    /// 0..=60 s at 1 s granularity.
+    pub fn fig4_ages(&self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![0, 5, 15, 30, 60],
+            Scale::Default => (0..=60).step_by(4).collect(),
+            Scale::Full => (0..=60).collect(),
+        }
+    }
+
+    /// Workloads for the Fig. 4 sweep (paper plots 16 of its 24).
+    pub fn fig4_workloads(&self) -> Vec<WorkloadSpec> {
+        match self {
+            Scale::Quick => fig4_subset().into_iter().take(4).collect(),
+            _ => fig4_subset(),
+        }
+    }
+
+    /// Repeats per configuration (the paper runs each 3 times).
+    pub fn repeats(&self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default => 1,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Workloads for the Fig. 6 heatmaps (paper plots 16).
+    pub fn fig6_workloads(&self) -> Vec<WorkloadSpec> {
+        match self {
+            Scale::Quick => fig4_subset().into_iter().take(4).collect(),
+            _ => fig4_subset(),
+        }
+    }
+
+    /// Workloads for Fig. 7 / Fig. 8 (the paper uses all 24).
+    pub fn full_suite(&self) -> Vec<WorkloadSpec> {
+        match self {
+            Scale::Quick => paper_suite().into_iter().take(6).collect(),
+            _ => paper_suite(),
+        }
+    }
+
+    /// Machines for multi-machine figures.
+    pub fn machines(&self) -> Vec<daos_mm::MachineProfile> {
+        match self {
+            Scale::Quick => vec![daos_mm::MachineProfile::i3_metal()],
+            _ => daos_mm::MachineProfile::paper_machines(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_grow_with_scale() {
+        assert!(Scale::Quick.fig4_ages().len() < Scale::Default.fig4_ages().len());
+        assert_eq!(Scale::Full.fig4_ages().len(), 61);
+        assert_eq!(Scale::Full.fig4_workloads().len(), 16);
+        assert_eq!(Scale::Full.full_suite().len(), 24);
+        assert_eq!(Scale::Full.repeats(), 3);
+        assert_eq!(Scale::Quick.machines().len(), 1);
+        assert_eq!(Scale::Default.machines().len(), 3);
+    }
+}

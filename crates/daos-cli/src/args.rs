@@ -1,0 +1,120 @@
+//! Minimal argument parsing: positionals plus `--key value` / `--flag`
+//! options, with typed accessors and unknown-option detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option keys that take a value (everything else is a boolean flag).
+const VALUE_OPTIONS: &[&str] = &[
+    "machine", "out", "seed", "rows", "cols", "schemes-file", "scheme", "range", "samples",
+    "swap", "min-age", "duration",
+];
+
+impl Args {
+    /// Parse raw arguments (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if VALUE_OPTIONS.contains(&key) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("option --{key} needs a value"))?;
+                    args.options.insert(key.to_string(), v);
+                } else {
+                    args.flags.push(key.to_string());
+                }
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(|s| s.as_str())
+    }
+
+    /// A string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A parsed numeric option with default.
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The machine profile selected by `--machine` (default i3.metal).
+    pub fn machine(&self) -> Result<daos_mm::MachineProfile, String> {
+        match self.opt("machine").unwrap_or("i3") {
+            "i3" | "i3.metal" => Ok(daos_mm::MachineProfile::i3_metal()),
+            "m5d" | "m5d.metal" => Ok(daos_mm::MachineProfile::m5d_metal()),
+            "z1d" | "z1d.metal" => Ok(daos_mm::MachineProfile::z1d_metal()),
+            other => Err(format!("unknown machine '{other}' (i3 | m5d | z1d)")),
+        }
+    }
+
+    /// The deterministic seed (`--seed`, default 42).
+    pub fn seed(&self) -> Result<u64, String> {
+        self.opt_num("seed", 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("parsec3/freqmine --machine z1d --seed 7 --paddr");
+        assert_eq!(a.pos(0), Some("parsec3/freqmine"));
+        assert_eq!(a.pos(1), None);
+        assert_eq!(a.opt("machine"), Some("z1d"));
+        assert_eq!(a.seed().unwrap(), 7);
+        assert!(a.flag("paddr"));
+        assert!(!a.flag("vaddr"));
+    }
+
+    #[test]
+    fn machine_selection() {
+        assert_eq!(parse("--machine m5d").machine().unwrap().name, "m5d.metal");
+        assert_eq!(parse("").machine().unwrap().name, "i3.metal");
+        assert!(parse("--machine quantum").machine().is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(vec!["--machine".to_string()]).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = parse("--rows 24");
+        assert_eq!(a.opt_num("rows", 16usize).unwrap(), 24);
+        assert_eq!(a.opt_num("cols", 72usize).unwrap(), 72);
+        let bad = parse("--rows many");
+        assert!(bad.opt_num("rows", 16usize).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use daos::{
+    biggest_active_span, record_from_csv, record_to_csv, run, score_inputs,
+    score_vs_baseline, Heatmap, Normalized, RunConfig, WssReport,
+};
+use daos_mm::clock::{sec, SEC};
+use daos_mm::{MemorySystem, SwapConfig};
+use daos_monitor::{MonitorAttrs, MonitorCtx, PaddrPrimitives};
+use daos_schemes::{parse_scheme_line, parse_schemes, SchemeTarget, SchemesEngine};
+use daos_tuner::{tune as tuner_tune, DefaultScore, ScoreFn, TunerConfig};
+use daos_workloads::{by_path, paper_suite, FleetConfig, ServerlessFleet};
+
+use crate::args::Args;
+
+fn lookup(args: &Args) -> Result<daos_workloads::WorkloadSpec, String> {
+    let name = args.pos(0).ok_or("missing workload argument (see `daos list`)")?;
+    by_path(name).ok_or_else(|| format!("unknown workload '{name}' (see `daos list`)"))
+}
+
+/// `daos list`
+pub fn list() -> Result<(), String> {
+    println!("{:<26} {:>9} {:>10}  behaviour", "workload", "footprint", "epochs");
+    for spec in paper_suite() {
+        println!(
+            "{:<26} {:>6} MiB {:>10}  {}",
+            spec.path_name(),
+            spec.footprint >> 20,
+            spec.nr_epochs,
+            spec.behavior.kind_name(),
+        );
+    }
+    Ok(())
+}
+
+/// `daos record <workload>`
+pub fn record(args: &Args) -> Result<(), String> {
+    let spec = lookup(args)?;
+    let machine = args.machine()?;
+    let config = if args.flag("paddr") { RunConfig::prec() } else { RunConfig::rec() };
+    println!(
+        "recording {} on {} ({} monitoring)...",
+        spec.path_name(),
+        machine.name,
+        if args.flag("paddr") { "physical-address" } else { "virtual-address" }
+    );
+    let result = run(&machine, &config, &spec, args.seed()?).map_err(|e| e.to_string())?;
+    let record = result.record.as_ref().expect("recording config");
+    let out = args.opt("out").unwrap_or("daos.record.csv");
+    fs::write(out, record_to_csv(record)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} aggregation windows ({:.0}s of monitoring) to {out}",
+        record.len(),
+        result.runtime_ns as f64 / 1e9
+    );
+    println!(
+        "monitoring cost: {:.2}% of one CPU, {:.2}% workload slowdown",
+        result.monitor_cpu_share() * 100.0,
+        100.0 * result.stats.monitor_interference_ns as f64 / result.runtime_ns as f64
+    );
+    Ok(())
+}
+
+fn load_record(args: &Args) -> Result<daos_monitor::MonitorRecord, String> {
+    let path = args.pos(0).ok_or("missing record file argument")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    record_from_csv(&text)
+}
+
+/// `daos report heatmap <FILE>`
+pub fn report_heatmap(args: &Args) -> Result<(), String> {
+    let record = load_record(args)?;
+    let span = biggest_active_span(&record).ok_or("record shows no activity")?;
+    let rows: usize = args.opt_num("rows", 16)?;
+    let cols: usize = args.opt_num("cols", 72)?;
+    let hm = Heatmap::from_record(&record, span, cols, rows).ok_or("empty record")?;
+    print!("{}", hm.render_ascii());
+    println!(
+        "x: {:.0}..{:.0}s   y: {}..{} MiB",
+        hm.time_span.0 as f64 / 1e9,
+        hm.time_span.1 as f64 / 1e9,
+        span.start >> 20,
+        span.end >> 20
+    );
+    Ok(())
+}
+
+/// `daos report wss <FILE>`
+pub fn report_wss(args: &Args) -> Result<(), String> {
+    let record = load_record(args)?;
+    let wss = WssReport::from_record(&record);
+    print!("{}", wss.render());
+    Ok(())
+}
+
+/// `daos schemes <workload> --schemes-file FILE | --scheme LINE`
+pub fn schemes(args: &Args) -> Result<(), String> {
+    let spec = lookup(args)?;
+    let machine = args.machine()?;
+    let schemes = match (args.opt("schemes-file"), args.opt("scheme")) {
+        (Some(path), _) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_schemes(&text).map_err(|e| e.to_string())?
+        }
+        (None, Some(line)) => vec![parse_scheme_line(line)?],
+        (None, None) => return Err("need --schemes-file FILE or --scheme 'LINE'".into()),
+    };
+    println!("running {} under {} scheme(s) on {}:", spec.path_name(), schemes.len(), machine.name);
+    for s in &schemes {
+        println!("  {s}");
+    }
+    let seed = args.seed()?;
+    let baseline =
+        run(&machine, &RunConfig::baseline(), &spec, seed).map_err(|e| e.to_string())?;
+    let mut config = RunConfig::rec();
+    config.name = "schemes".into();
+    config.record = false;
+    config.schemes = schemes;
+    let result = run(&machine, &config, &spec, seed).map_err(|e| e.to_string())?;
+    let n = Normalized::of(&baseline, &result);
+    println!("\nruntime: {:.1}s (baseline {:.1}s, {:+.2}% change)",
+        result.runtime_ns as f64 / 1e9,
+        baseline.runtime_ns as f64 / 1e9,
+        n.slowdown_pct());
+    println!("avg RSS: {} MiB (baseline {} MiB, {:.1}% saved)",
+        result.avg_rss >> 20,
+        baseline.avg_rss >> 20,
+        n.memory_saving_pct());
+    println!("score (Listing 2): {:.2}", score_vs_baseline(&baseline, &result));
+    for (i, st) in result.scheme_stats.iter().enumerate() {
+        println!(
+            "scheme {i}: tried {} regions / {} MiB, applied {} / {} MiB",
+            st.nr_tried,
+            st.sz_tried >> 20,
+            st.nr_applied,
+            st.sz_applied >> 20
+        );
+    }
+    Ok(())
+}
+
+/// `daos tune <workload>`
+pub fn tune(args: &Args) -> Result<(), String> {
+    let spec = lookup(args)?;
+    let machine = args.machine()?;
+    let seed = args.seed()?;
+    let range_str = args.opt("range").unwrap_or("0:60");
+    let (lo, hi) = range_str
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse::<f64>().ok()?, b.parse::<f64>().ok()?)))
+        .ok_or_else(|| format!("bad --range '{range_str}' (expected LO:HI)"))?;
+    let samples: u64 = args.opt_num("samples", 10)?;
+
+    println!(
+        "tuning prcl min_age over [{lo}, {hi}]s for {} on {} ({samples} samples)...",
+        spec.path_name(),
+        machine.name
+    );
+    let baseline =
+        run(&machine, &RunConfig::baseline(), &spec, seed).map_err(|e| e.to_string())?;
+    let mut score_fn = DefaultScore::default();
+    let cfg = TunerConfig {
+        time_limit: sec(samples * 10),
+        unit_work_time: sec(10),
+        range: (lo, hi),
+        seed,
+    };
+    let result = tuner_tune(&cfg, |min_age| {
+        let r = run(
+            &machine,
+            &RunConfig::prcl_with_min_age((min_age * 1e9) as u64),
+            &spec,
+            seed,
+        )
+        .expect("sample run");
+        let s = score_fn.score(&score_inputs(&baseline, &r));
+        println!("  min_age {min_age:>6.1}s -> score {s:>8.2}");
+        s
+    });
+    println!("\nbest threshold: min_age {:.1}s (estimated score {:.2})", result.best_x, result.best_score);
+    let tuned = run(
+        &machine,
+        &RunConfig::prcl_with_min_age((result.best_x * 1e9) as u64),
+        &spec,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let n = Normalized::of(&baseline, &tuned);
+    println!(
+        "validated: {:.1}% memory saving at {:+.2}% runtime change (score {:.2})",
+        n.memory_saving_pct(),
+        n.slowdown_pct(),
+        score_vs_baseline(&baseline, &tuned)
+    );
+    Ok(())
+}
+
+/// `daos fleet`
+pub fn fleet(args: &Args) -> Result<(), String> {
+    let machine = args.machine()?;
+    let swap = match args.opt("swap").unwrap_or("zram") {
+        "zram" => SwapConfig::Zram { capacity_bytes: 256 << 20, compression_ratio: 9.0 },
+        "file" => SwapConfig::File { capacity_bytes: 1 << 30 },
+        "none" => SwapConfig::None,
+        other => return Err(format!("unknown swap '{other}' (zram | file | none)")),
+    };
+    let min_age: u64 = args.opt_num("min-age", 30)?;
+    let duration: u64 = args.opt_num("duration", 180)?;
+    let seed = args.seed()?;
+
+    println!(
+        "serverless fleet on {} with {:?}, pageout idle >= {min_age}s, {duration}s...",
+        machine.name, swap
+    );
+    let mut sys = MemorySystem::new(machine, swap, seed);
+    let mut fleet = ServerlessFleet::new(FleetConfig::default(), seed);
+    fleet.setup(&mut sys).map_err(|e| e.to_string())?;
+    let full = fleet.total_rss(&sys) as f64;
+    let scheme = parse_scheme_line(&format!("min max min min {min_age}s max pageout"))?;
+    let mut engine = SchemesEngine::new(SchemeTarget::Physical, vec![scheme]);
+    let mut monitor =
+        MonitorCtx::new(MonitorAttrs::paper_defaults(), PaddrPrimitives, &sys, 0, seed);
+    let mut sink = Vec::new();
+    let mut next_report = 30 * SEC;
+    while sys.now() < duration * SEC {
+        let cost = fleet.epoch(&mut sys).map_err(|e| e.to_string())?;
+        sys.advance(cost);
+        let now = sys.now();
+        monitor.step(&mut sys, now, &mut sink);
+        let i = sys.charge_monitor(monitor.take_work_ns());
+        sys.advance(i);
+        for agg in sink.drain(..) {
+            let pass = engine.on_aggregation(&mut sys, &agg);
+            let i2 = sys.charge_schemes(pass.work_ns);
+            sys.advance(i2);
+        }
+        if sys.now() >= next_report {
+            println!(
+                "  t={:>4.0}s  fleet memory {:>5.1}% of startup RSS",
+                sys.now() as f64 / 1e9,
+                100.0 * fleet.total_memory_usage(&sys) as f64 / full
+            );
+            next_report += 30 * SEC;
+        }
+    }
+    println!(
+        "\nfinal: {:.1}% of startup memory ({} pages paged out); paper Fig. 9: ~20% (zram) / ~10% (file)",
+        100.0 * fleet.total_memory_usage(&sys) as f64 / full,
+        sys.kstats.damos_pageouts
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn list_prints_suite() {
+        assert!(list().is_ok());
+    }
+
+    #[test]
+    fn lookup_errors_are_friendly() {
+        let err = lookup(&args("parsec3/quake")).unwrap_err();
+        assert!(err.contains("unknown workload"));
+        let err = lookup(&args("")).unwrap_err();
+        assert!(err.contains("missing workload"));
+    }
+
+    #[test]
+    fn report_on_missing_file_errors() {
+        let err = report_wss(&args("/no/such/file.rec")).unwrap_err();
+        assert!(err.contains("file.rec"));
+        let err = report_heatmap(&args("/no/such/file.rec")).unwrap_err();
+        assert!(err.contains("file.rec"));
+    }
+
+    #[test]
+    fn reports_work_on_a_real_record_file() {
+        // Build a small record via the library, write it, report on it.
+        let spec = daos_workloads::WorkloadSpec {
+            name: "cli-test",
+            suite: daos_workloads::Suite::Parsec3,
+            footprint: 8 << 20,
+            nr_epochs: 600,
+            compute_ns: 1_000_000,
+            behavior: daos_workloads::Behavior::CompactHot {
+                hot_frac: 0.25,
+                apc: 4.0,
+                cold_touch_prob: 0.0,
+            },
+        };
+        let machine = daos_mm::MachineProfile::i3_metal();
+        let result = run(&machine, &RunConfig::rec(), &spec, 1).unwrap();
+        let path = std::env::temp_dir().join("daos_cli_test.rec");
+        fs::write(&path, record_to_csv(result.record.as_ref().unwrap())).unwrap();
+        let path_str = path.to_str().unwrap();
+
+        assert!(report_wss(&args(path_str)).is_ok());
+        assert!(report_heatmap(&args(&format!("{path_str} --rows 6 --cols 20"))).is_ok());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schemes_requires_a_scheme_source() {
+        let err = schemes(&args("parsec3/freqmine")).unwrap_err();
+        assert!(err.contains("--schemes-file"));
+        let err = schemes(&args("parsec3/freqmine --scheme bogus")).unwrap_err();
+        assert!(err.contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_swap() {
+        let err = fleet(&args("--swap tape")).unwrap_err();
+        assert!(err.contains("unknown swap"));
+    }
+
+    #[test]
+    fn tune_range_parsing() {
+        let err = tune(&args("parsec3/freqmine --range backwards")).unwrap_err();
+        assert!(err.contains("--range"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Library view of the CLI internals so the argument parser and command
+//! plumbing are unit-testable (the `daos` binary is a thin shell over
+//! these modules).
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,64 @@
+//! `daos` — the user-space tool of the reproduction, in the spirit of the
+//! upstream `damo` utility: record access patterns, render reports, run
+//! schemes, auto-tune them, and drive the production-fleet scenario.
+
+use daos_cli::args::Args;
+use daos_cli::commands;
+
+const USAGE: &str = "\
+daos — data access-aware memory management (paper reproduction tool)
+
+USAGE:
+    daos <SUBCOMMAND> [ARGS]
+
+SUBCOMMANDS:
+    list                      list the available workload analogs
+    record <workload>         monitor a workload, write a record file
+        [--machine i3|m5d|z1d] [--paddr] [--seed N] [--out FILE]
+    report heatmap <FILE>     render a record file as an ASCII heatmap
+        [--rows N] [--cols N]
+    report wss <FILE>         working-set-size percentiles of a record
+    schemes <workload>        run a workload under a scheme file
+        (--schemes-file FILE | --scheme 'LINE') [--machine ...] [--seed N]
+    tune <workload>           auto-tune the prcl scheme's min_age
+        [--range LO:HI] [--samples N] [--machine ...] [--seed N]
+    fleet                     the serverless production scenario
+        [--swap zram|file|none] [--min-age SECONDS] [--duration SECONDS]
+
+Every command is deterministic under a fixed --seed.
+";
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" || raw[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let sub = raw.remove(0);
+    let result = (|| -> Result<(), String> {
+        match sub.as_str() {
+            "list" => commands::list(),
+            "record" => commands::record(&Args::parse(raw)?),
+            "report" => {
+                if raw.is_empty() {
+                    return Err("report needs a kind: heatmap | wss".into());
+                }
+                let kind = raw.remove(0);
+                let args = Args::parse(raw)?;
+                match kind.as_str() {
+                    "heatmap" => commands::report_heatmap(&args),
+                    "wss" => commands::report_wss(&args),
+                    other => Err(format!("unknown report kind '{other}'")),
+                }
+            }
+            "schemes" => commands::schemes(&Args::parse(raw)?),
+            "tune" => commands::tune(&Args::parse(raw)?),
+            "fleet" => commands::fleet(&Args::parse(raw)?),
+            other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+        }
+    })();
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

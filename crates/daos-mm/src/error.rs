@@ -1,0 +1,42 @@
+//! Substrate error types.
+
+use crate::addr::AddrRange;
+use crate::process::Pid;
+
+/// Errors surfaced by the memory-management substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmError {
+    /// The referenced process does not exist.
+    NoSuchProcess(Pid),
+    /// No VMA maps the given address.
+    Unmapped(u64),
+    /// The given range is not fully covered by existing VMAs.
+    BadRange(AddrRange),
+    /// Physical memory and swap are both exhausted.
+    OutOfMemory,
+    /// The swap device has no free capacity.
+    SwapFull,
+    /// The requested mapping would overlap an existing VMA.
+    MappingOverlap(AddrRange),
+    /// Requested mapping length was zero or not representable.
+    BadLength(u64),
+}
+
+impl core::fmt::Display for MmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MmError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            MmError::Unmapped(addr) => write!(f, "address {addr:#x} is not mapped"),
+            MmError::BadRange(r) => write!(f, "range {r} is not fully mapped"),
+            MmError::OutOfMemory => write!(f, "out of memory (DRAM and swap exhausted)"),
+            MmError::SwapFull => write!(f, "swap device full"),
+            MmError::MappingOverlap(r) => write!(f, "mapping overlaps existing VMA at {r}"),
+            MmError::BadLength(l) => write!(f, "bad mapping length: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// Convenience result alias for substrate operations.
+pub type MmResult<T> = Result<T, MmError>;

@@ -1,0 +1,210 @@
+//! Simulated processes: VMA bookkeeping and address-space layout.
+
+use crate::addr::{page_align_up, AddrRange, PAGE_SIZE};
+use crate::error::{MmError, MmResult};
+use crate::stats::ProcStats;
+use crate::vma::{ThpMode, Vma};
+
+/// Process identifier (dense index into the system's process table).
+pub type Pid = u32;
+
+/// Base of the simulated heap/mmap area. Leaving a gap below mirrors the
+/// real layout (text/data below, then a gap, then anonymous mappings) that
+/// the paper's Fig. 6 visualisation works around.
+pub const MMAP_BASE: u64 = 0x1000_0000;
+/// Gap left between consecutive anonymous mappings.
+pub const MMAP_GAP: u64 = 16 * PAGE_SIZE;
+/// Base of the far "stack-like" area, creating the large address-space gap
+/// mentioned in §4.1.
+pub const STACK_BASE: u64 = 0x7f00_0000_0000;
+
+/// A simulated process: a sorted list of VMAs plus statistics.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// This process's identifier.
+    pub pid: Pid,
+    /// Sorted, non-overlapping virtual memory areas.
+    vmas: Vec<Vma>,
+    /// Next address the bump allocator hands out for anonymous mmap.
+    next_mmap: u64,
+    /// Resident pages across all VMAs (maintained incrementally).
+    pub rss_pages: u64,
+    /// Lifetime statistics.
+    pub stats: ProcStats,
+    /// Whether the process has exited (VMAs torn down).
+    pub exited: bool,
+}
+
+impl Process {
+    /// Create an empty process.
+    pub fn new(pid: Pid) -> Self {
+        Self {
+            pid,
+            vmas: Vec::new(),
+            next_mmap: MMAP_BASE,
+            rss_pages: 0,
+            stats: ProcStats::default(),
+            exited: false,
+        }
+    }
+
+    /// Resident-set size in bytes.
+    #[inline]
+    pub fn rss_bytes(&self) -> u64 {
+        self.rss_pages * PAGE_SIZE
+    }
+
+    /// Map `len` bytes of anonymous memory at an allocator-chosen address.
+    pub fn mmap(&mut self, len: u64, thp: ThpMode) -> MmResult<AddrRange> {
+        if len == 0 {
+            return Err(MmError::BadLength(0));
+        }
+        let len = page_align_up(len);
+        let start = self.next_mmap;
+        let range = AddrRange::new(start, start + len);
+        self.next_mmap = range.end + MMAP_GAP;
+        self.insert_vma(Vma::new(range, thp))?;
+        Ok(range)
+    }
+
+    /// Map `len` bytes at a fixed address (tests, stack areas).
+    pub fn mmap_at(&mut self, start: u64, len: u64, thp: ThpMode) -> MmResult<AddrRange> {
+        if len == 0 {
+            return Err(MmError::BadLength(0));
+        }
+        let len = page_align_up(len);
+        let range = AddrRange::new(start, start + len);
+        self.insert_vma(Vma::new(range, thp))?;
+        Ok(range)
+    }
+
+    fn insert_vma(&mut self, vma: Vma) -> MmResult<()> {
+        let pos = self.vmas.partition_point(|v| v.range.start < vma.range.start);
+        let overlaps_prev = pos > 0 && self.vmas[pos - 1].range.overlaps(&vma.range);
+        let overlaps_next = pos < self.vmas.len() && self.vmas[pos].range.overlaps(&vma.range);
+        if overlaps_prev || overlaps_next {
+            return Err(MmError::MappingOverlap(vma.range));
+        }
+        self.vmas.insert(pos, vma);
+        Ok(())
+    }
+
+    /// Remove the VMA exactly covering `range`; returns it so the caller
+    /// can release frames/slots. (Partial unmap is not modelled — the
+    /// workloads only map and unmap whole areas.)
+    pub fn take_vma(&mut self, range: AddrRange) -> MmResult<Vma> {
+        let pos = self
+            .vmas
+            .iter()
+            .position(|v| v.range == range)
+            .ok_or(MmError::BadRange(range))?;
+        Ok(self.vmas.remove(pos))
+    }
+
+    /// The VMA containing `addr`.
+    #[inline]
+    pub fn find_vma(&self, addr: u64) -> Option<&Vma> {
+        let pos = self.vmas.partition_point(|v| v.range.end <= addr);
+        self.vmas.get(pos).filter(|v| v.range.contains(addr))
+    }
+
+    /// Mutable variant of [`Self::find_vma`].
+    #[inline]
+    pub fn find_vma_mut(&mut self, addr: u64) -> Option<&mut Vma> {
+        let pos = self.vmas.partition_point(|v| v.range.end <= addr);
+        self.vmas.get_mut(pos).filter(|v| v.range.contains(addr))
+    }
+
+    /// All VMA ranges, sorted — what the virtual-address monitoring
+    /// primitive reads to construct/refresh its target regions.
+    pub fn vma_ranges(&self) -> Vec<AddrRange> {
+        self.vmas.iter().map(|v| v.range).collect()
+    }
+
+    /// Shared iteration over VMAs.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Mutable iteration over VMAs.
+    pub fn vmas_mut(&mut self) -> &mut [Vma] {
+        &mut self.vmas
+    }
+
+    /// Total mapped bytes (virtual size).
+    pub fn vsize_bytes(&self) -> u64 {
+        self.vmas.iter().map(|v| v.range.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_assigns_disjoint_ranges() {
+        let mut p = Process::new(0);
+        let a = p.mmap(1 << 20, ThpMode::Never).unwrap();
+        let b = p.mmap(1 << 20, ThpMode::Never).unwrap();
+        assert!(!a.overlaps(&b));
+        assert!(b.start >= a.end + MMAP_GAP);
+        assert_eq!(p.vma_ranges(), vec![a, b]);
+        assert_eq!(p.vsize_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn mmap_zero_len_rejected() {
+        let mut p = Process::new(0);
+        assert_eq!(p.mmap(0, ThpMode::Never), Err(MmError::BadLength(0)));
+    }
+
+    #[test]
+    fn mmap_rounds_to_pages() {
+        let mut p = Process::new(0);
+        let r = p.mmap(1, ThpMode::Never).unwrap();
+        assert_eq!(r.len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn find_vma_boundaries() {
+        let mut p = Process::new(0);
+        let a = p.mmap_at(0x10000, 0x4000, ThpMode::Never).unwrap();
+        assert!(p.find_vma(a.start).is_some());
+        assert!(p.find_vma(a.end - 1).is_some());
+        assert!(p.find_vma(a.end).is_none());
+        assert!(p.find_vma(a.start - 1).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut p = Process::new(0);
+        p.mmap_at(0x10000, 0x4000, ThpMode::Never).unwrap();
+        assert!(matches!(
+            p.mmap_at(0x12000, 0x4000, ThpMode::Never),
+            Err(MmError::MappingOverlap(_))
+        ));
+        // Adjacent (non-overlapping) is fine.
+        assert!(p.mmap_at(0x14000, 0x1000, ThpMode::Never).is_ok());
+    }
+
+    #[test]
+    fn take_vma_removes() {
+        let mut p = Process::new(0);
+        let a = p.mmap(1 << 20, ThpMode::Never).unwrap();
+        let vma = p.take_vma(a).unwrap();
+        assert_eq!(vma.range, a);
+        assert!(p.find_vma(a.start).is_none());
+        assert_eq!(p.take_vma(a), Err(MmError::BadRange(a)));
+    }
+
+    #[test]
+    fn stack_area_creates_gap() {
+        let mut p = Process::new(0);
+        let heap = p.mmap(1 << 20, ThpMode::Never).unwrap();
+        let stack = p.mmap_at(STACK_BASE, 1 << 20, ThpMode::Never).unwrap();
+        assert!(stack.start - heap.end > (1 << 30), "big gap as in Fig. 6");
+        let ranges = p.vma_ranges();
+        assert_eq!(ranges.len(), 2);
+        assert!(ranges.windows(2).all(|w| w[0].end <= w[1].start));
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-process and system-wide accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Ns;
+
+/// Counters accumulated for one process over its lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Anonymous minor faults (first touch of a page).
+    pub minor_faults: u64,
+    /// Major faults (page had to be read back from swap).
+    pub major_faults: u64,
+    /// Pages written to swap on behalf of this process.
+    pub swapouts: u64,
+    /// Pages read back from swap.
+    pub swapins: u64,
+    /// Pure compute time charged by the workload, ns.
+    pub compute_ns: Ns,
+    /// Memory-access time (DRAM latency + TLB walks), ns.
+    pub access_ns: Ns,
+    /// Stall time in fault handling / direct reclaim / THP allocation, ns.
+    pub stall_ns: Ns,
+    /// Slowdown attributed to monitoring-thread interference, ns.
+    pub monitor_interference_ns: Ns,
+    /// Highest resident-set size observed, bytes.
+    pub peak_rss_bytes: u64,
+    /// Integral of RSS over virtual time, byte·ns — used for average RSS,
+    /// which is the memory-footprint metric in the paper's score function.
+    pub rss_time_integral: u128,
+    /// Huge-page promotions applied to this process's chunks.
+    pub thp_promotions: u64,
+    /// Huge-page demotions (splits).
+    pub thp_demotions: u64,
+}
+
+impl ProcStats {
+    /// Total virtual runtime so far (the paper's performance metric).
+    pub fn runtime_ns(&self) -> Ns {
+        self.compute_ns + self.access_ns + self.stall_ns + self.monitor_interference_ns
+    }
+
+    /// Average RSS over `elapsed` nanoseconds of virtual time.
+    pub fn avg_rss_bytes(&self, elapsed: Ns) -> u64 {
+        if elapsed == 0 {
+            0
+        } else {
+            (self.rss_time_integral / elapsed as u128) as u64
+        }
+    }
+}
+
+/// Kernel-side (not charged to any process) accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// CPU time spent in the access monitor (sampling + aggregation), ns.
+    pub monitor_ns: Ns,
+    /// CPU time spent applying schemes (walking regions, pageout, THP), ns.
+    pub schemes_ns: Ns,
+    /// CPU time in background/kswapd-style reclaim, ns.
+    pub reclaim_ns: Ns,
+    /// Asynchronous swap-device write time (not charged to any process).
+    pub swap_write_ns: Ns,
+    /// Pages reclaimed by memory pressure (not DAMOS).
+    pub pressure_reclaims: u64,
+    /// Pages paged out by DAMOS PAGEOUT.
+    pub damos_pageouts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_sums_components() {
+        let s = ProcStats {
+            compute_ns: 100,
+            access_ns: 20,
+            stall_ns: 30,
+            monitor_interference_ns: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.runtime_ns(), 155);
+    }
+
+    #[test]
+    fn avg_rss_integral() {
+        let mut s = ProcStats::default();
+        // 100 bytes resident for 10 ns, then 300 bytes for 10 ns.
+        s.rss_time_integral += 100u128 * 10;
+        s.rss_time_integral += 300u128 * 10;
+        assert_eq!(s.avg_rss_bytes(20), 200);
+        assert_eq!(s.avg_rss_bytes(0), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! TLB-reach cost model.
+//!
+//! The benefit of transparent huge pages in the paper's workloads (e.g.
+//! splash2x/ocean_ncp's 27.5 % gain) comes from TLB reach: 2 MiB mappings
+//! cover 512× more address space per TLB entry, so large, intensely
+//! accessed working sets take far fewer page-table walks. This module
+//! turns "how many pages were touched, how many via huge mappings" into a
+//! per-access nanosecond cost.
+
+use crate::machine::MachineProfile;
+
+/// Estimated TLB miss rate for a working set of `ws_bytes` covered by a
+/// TLB reach of `coverage_bytes`.
+///
+/// Below full coverage the miss rate is ~0; beyond it, misses grow with
+/// the uncovered fraction, capped below 1.0 because real access streams
+/// have locality.
+#[inline]
+pub fn miss_rate(ws_bytes: u64, coverage_bytes: u64) -> f64 {
+    if ws_bytes <= coverage_bytes || ws_bytes == 0 {
+        0.0
+    } else {
+        let uncovered = (ws_bytes - coverage_bytes) as f64 / ws_bytes as f64;
+        uncovered.min(0.95)
+    }
+}
+
+/// Per-access cost (ns) for the 4 KiB-mapped and 2 MiB-mapped portions of
+/// an access batch.
+///
+/// `ws_4k`/`ws_2m` are the bytes of the batch's touched working set mapped
+/// by base pages and by huge chunks respectively.
+pub fn access_costs(machine: &MachineProfile, ws_4k: u64, ws_2m: u64) -> (f64, f64) {
+    let m4 = miss_rate(ws_4k, machine.tlb_coverage_4k());
+    let m2 = miss_rate(ws_2m, machine.tlb_coverage_2m());
+    (
+        machine.dram_latency_ns + m4 * machine.tlb_miss_penalty_ns,
+        machine.dram_latency_ns + m2 * machine.tlb_miss_penalty_ns,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn small_ws_never_misses() {
+        assert_eq!(miss_rate(0, 1000), 0.0);
+        assert_eq!(miss_rate(1000, 1000), 0.0);
+        assert_eq!(miss_rate(999, 1000), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_grows_and_caps() {
+        let cov = 100;
+        assert!(miss_rate(200, cov) > miss_rate(150, cov));
+        assert!(miss_rate(u64::MAX / 2, cov) <= 0.95);
+    }
+
+    #[test]
+    fn huge_pages_cut_cost_for_large_ws() {
+        let m = MachineProfile::i3_metal();
+        // A working set 8x the 4 KiB TLB reach.
+        let ws = 8 * m.tlb_coverage_4k();
+        let (c4, c2_same_ws) = access_costs(&m, ws, ws);
+        // The same bytes via 2 MiB mappings are fully covered by the 2 MiB
+        // TLB (its reach is 2 GiB on these profiles).
+        assert!(c4 > m.dram_latency_ns);
+        assert_eq!(c2_same_ws, m.dram_latency_ns);
+        assert!(c4 > c2_same_ws);
+    }
+
+    #[test]
+    fn tiny_ws_costs_dram_latency_only() {
+        let m = MachineProfile::i3_metal();
+        let (c4, c2) = access_costs(&m, 64 * PAGE_SIZE, 0);
+        assert_eq!(c4, m.dram_latency_ns);
+        assert_eq!(c2, m.dram_latency_ns);
+    }
+}

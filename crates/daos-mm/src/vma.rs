@@ -1,0 +1,270 @@
+//! Virtual memory areas and page-table entries.
+//!
+//! Each process owns a sorted set of [`Vma`]s. A VMA stores one [`Pte`]
+//! per 4 KiB page plus per-2 MiB-chunk THP state. The PTE `accessed` bit is
+//! the hardware feature the paper's monitoring primitives read and clear
+//! (§3.1: "accessed bits in page table entries").
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{
+    huge_align_down, huge_align_up, AddrRange, HUGE_PAGE_SIZE, PAGE_SHIFT, PAGE_SIZE,
+};
+use crate::frame::FrameId;
+use crate::swap::SwapSlot;
+
+/// Backing state of one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PteState {
+    /// Never faulted in (or unmapped by reclaim of a clean page).
+    None,
+    /// Mapped to a physical frame.
+    Resident(FrameId),
+    /// Contents live in a swap slot.
+    Swapped(SwapSlot),
+}
+
+/// One simulated page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Where the page's data lives.
+    pub state: PteState,
+    /// Hardware accessed ("young") bit — set on every CPU touch, cleared
+    /// by the monitor's access checks and by LRU aging.
+    pub accessed: bool,
+    /// Generation stamp used by the lazy LRU lists to invalidate stale
+    /// queue entries; bumped on every map/unmap/list move.
+    pub lru_gen: u32,
+}
+
+impl Pte {
+    const EMPTY: Pte = Pte { state: PteState::None, accessed: false, lru_gen: 0 };
+
+    /// Whether the page occupies a physical frame.
+    #[inline]
+    pub fn is_resident(&self) -> bool {
+        matches!(self.state, PteState::Resident(_))
+    }
+}
+
+/// Per-VMA transparent-huge-page policy, mirroring
+/// `MADV_HUGEPAGE`/`MADV_NOHUGEPAGE` plus the system-wide "always" mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThpMode {
+    /// Huge pages are never used for this VMA.
+    Never,
+    /// The kernel aggressively promotes any 2 MiB-aligned chunk with at
+    /// least one resident page (the behaviour Kwon et al. criticise).
+    Always,
+    /// Promotion happens only when explicitly requested (DAMOS HUGEPAGE).
+    Madvise,
+}
+
+/// A contiguous virtual mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vma {
+    /// Byte range covered; always page-aligned.
+    pub range: AddrRange,
+    /// THP policy for this area.
+    pub thp: ThpMode,
+    ptes: Vec<Pte>,
+    /// Per-aligned-2 MiB-chunk huge flag. Chunk 0 starts at
+    /// `huge_align_up(range.start)`.
+    huge: Vec<bool>,
+}
+
+impl Vma {
+    /// Create a VMA over `range` (must be page-aligned and non-empty).
+    pub fn new(range: AddrRange, thp: ThpMode) -> Self {
+        debug_assert!(range.start.is_multiple_of(PAGE_SIZE) && range.end.is_multiple_of(PAGE_SIZE));
+        debug_assert!(!range.is_empty());
+        let nr_pages = range.nr_pages() as usize;
+        let nr_chunks = Self::nr_aligned_chunks(&range);
+        Self {
+            range,
+            thp,
+            ptes: vec![Pte::EMPTY; nr_pages],
+            huge: vec![false; nr_chunks],
+        }
+    }
+
+    fn nr_aligned_chunks(range: &AddrRange) -> usize {
+        let start = huge_align_up(range.start);
+        let end = huge_align_down(range.end);
+        if start >= end {
+            0
+        } else {
+            ((end - start) / HUGE_PAGE_SIZE) as usize
+        }
+    }
+
+    /// Page index of `addr` within this VMA.
+    #[inline]
+    fn idx(&self, addr: u64) -> usize {
+        debug_assert!(self.range.contains(addr));
+        ((addr - self.range.start) >> PAGE_SHIFT) as usize
+    }
+
+    /// Shared access to the PTE covering `addr`.
+    #[inline]
+    pub fn pte(&self, addr: u64) -> &Pte {
+        &self.ptes[self.idx(addr)]
+    }
+
+    /// Mutable access to the PTE covering `addr`.
+    #[inline]
+    pub fn pte_mut(&mut self, addr: u64) -> &mut Pte {
+        let i = self.idx(addr);
+        &mut self.ptes[i]
+    }
+
+    /// Number of 4 KiB pages in the VMA.
+    #[inline]
+    pub fn nr_pages(&self) -> usize {
+        self.ptes.len()
+    }
+
+    /// Iterate `(page_addr, &pte)` over the whole VMA.
+    pub fn iter_ptes(&self) -> impl Iterator<Item = (u64, &Pte)> {
+        let start = self.range.start;
+        self.ptes
+            .iter()
+            .enumerate()
+            .map(move |(i, p)| (start + (i as u64) * PAGE_SIZE, p))
+    }
+
+    /// Number of resident pages (RSS contribution).
+    pub fn nr_resident(&self) -> usize {
+        self.ptes.iter().filter(|p| p.is_resident()).count()
+    }
+
+    // ---- huge-page chunk bookkeeping -------------------------------
+
+    /// Address of the first 2 MiB-aligned chunk, if any fits.
+    pub fn first_chunk_addr(&self) -> Option<u64> {
+        let start = huge_align_up(self.range.start);
+        (start + HUGE_PAGE_SIZE <= self.range.end).then_some(start)
+    }
+
+    /// Number of 2 MiB-aligned chunks that fit fully inside the VMA.
+    pub fn nr_chunks(&self) -> usize {
+        self.huge.len()
+    }
+
+    /// Chunk index for a huge-aligned address inside the VMA.
+    fn chunk_idx(&self, chunk_addr: u64) -> Option<usize> {
+        let first = self.first_chunk_addr()?;
+        if chunk_addr < first || chunk_addr + HUGE_PAGE_SIZE > self.range.end {
+            return None;
+        }
+        debug_assert_eq!(chunk_addr % HUGE_PAGE_SIZE, 0);
+        Some(((chunk_addr - first) / HUGE_PAGE_SIZE) as usize)
+    }
+
+    /// Whether the aligned chunk at `chunk_addr` is currently huge-mapped.
+    pub fn is_huge(&self, chunk_addr: u64) -> bool {
+        self.chunk_idx(huge_align_down(chunk_addr))
+            .map(|i| self.huge[i])
+            .unwrap_or(false)
+    }
+
+    /// Mark a chunk huge (true) or split (false). Returns previous state,
+    /// or `None` if no aligned chunk exists there.
+    pub fn set_huge(&mut self, chunk_addr: u64, huge: bool) -> Option<bool> {
+        let i = self.chunk_idx(chunk_addr)?;
+        Some(std::mem::replace(&mut self.huge[i], huge))
+    }
+
+    /// Iterate addresses of all aligned 2 MiB chunks inside `range ∩ vma`.
+    pub fn chunks_in(&self, range: &AddrRange) -> impl Iterator<Item = u64> + '_ {
+        let isect = self.range.intersect(range).unwrap_or(AddrRange::empty());
+        let first = huge_align_up(isect.start);
+        let last = huge_align_down(isect.end);
+        (first..last.max(first))
+            .step_by(HUGE_PAGE_SIZE as usize)
+            .filter(move |a| self.chunk_idx(*a).is_some())
+    }
+
+    /// Bytes of this VMA currently mapped by huge chunks.
+    pub fn huge_bytes(&self) -> u64 {
+        self.huge.iter().filter(|h| **h).count() as u64 * HUGE_PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    #[test]
+    fn vma_pte_indexing() {
+        let mut vma = Vma::new(AddrRange::new(mb(4), mb(8)), ThpMode::Never);
+        assert_eq!(vma.nr_pages(), (mb(4) / PAGE_SIZE) as usize);
+        vma.pte_mut(mb(4)).accessed = true;
+        assert!(vma.pte(mb(4)).accessed);
+        assert!(!vma.pte(mb(4) + PAGE_SIZE).accessed);
+        assert_eq!(vma.nr_resident(), 0);
+    }
+
+    #[test]
+    fn chunk_accounting_aligned_vma() {
+        let vma = Vma::new(AddrRange::new(mb(2), mb(8)), ThpMode::Always);
+        assert_eq!(vma.nr_chunks(), 3);
+        assert_eq!(vma.first_chunk_addr(), Some(mb(2)));
+    }
+
+    #[test]
+    fn chunk_accounting_unaligned_vma() {
+        // [1 MiB, 6 MiB): aligned chunks are [2,4) and [4,6) → 2 chunks.
+        let vma = Vma::new(AddrRange::new(mb(1), mb(6)), ThpMode::Always);
+        assert_eq!(vma.nr_chunks(), 2);
+        assert_eq!(vma.first_chunk_addr(), Some(mb(2)));
+    }
+
+    #[test]
+    fn tiny_vma_has_no_chunks() {
+        let vma = Vma::new(AddrRange::new(mb(1), mb(1) + PAGE_SIZE), ThpMode::Always);
+        assert_eq!(vma.nr_chunks(), 0);
+        assert_eq!(vma.first_chunk_addr(), None);
+        assert!(!vma.is_huge(mb(1)));
+    }
+
+    #[test]
+    fn set_huge_roundtrip() {
+        let mut vma = Vma::new(AddrRange::new(mb(2), mb(8)), ThpMode::Always);
+        assert_eq!(vma.set_huge(mb(4), true), Some(false));
+        assert!(vma.is_huge(mb(4)));
+        assert!(vma.is_huge(mb(4) + 123)); // any addr in the chunk
+        assert!(!vma.is_huge(mb(2)));
+        assert_eq!(vma.huge_bytes(), HUGE_PAGE_SIZE);
+        assert_eq!(vma.set_huge(mb(4), false), Some(true));
+        assert_eq!(vma.huge_bytes(), 0);
+    }
+
+    #[test]
+    fn set_huge_outside_chunks_is_none() {
+        let mut vma = Vma::new(AddrRange::new(mb(1), mb(6)), ThpMode::Always);
+        // mb(0) is outside; the last partial chunk start mb(6)-… not aligned in range
+        assert_eq!(vma.set_huge(0, true), None);
+        assert_eq!(vma.set_huge(mb(6), true), None);
+    }
+
+    #[test]
+    fn chunks_in_intersects() {
+        let vma = Vma::new(AddrRange::new(mb(2), mb(10)), ThpMode::Always);
+        let chunks: Vec<u64> = vma.chunks_in(&AddrRange::new(mb(3), mb(9))).collect();
+        assert_eq!(chunks, vec![mb(4), mb(6)]);
+        let all: Vec<u64> = vma.chunks_in(&AddrRange::new(0, u64::MAX)).collect();
+        assert_eq!(all.len(), vma.nr_chunks());
+    }
+
+    #[test]
+    fn iter_ptes_addresses() {
+        let vma = Vma::new(AddrRange::new(mb(4), mb(4) + 3 * PAGE_SIZE), ThpMode::Never);
+        let addrs: Vec<u64> = vma.iter_ptes().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![mb(4), mb(4) + PAGE_SIZE, mb(4) + 2 * PAGE_SIZE]);
+    }
+}

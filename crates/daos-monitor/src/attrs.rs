@@ -1,0 +1,124 @@
+//! Monitoring attributes (the paper's §3.1 knobs).
+
+use daos_mm::clock::{ms, sec, Ns};
+use serde::{Deserialize, Serialize};
+
+/// The five user-set monitoring parameters.
+///
+/// The paper's evaluation uses 5 ms sampling, 100 ms aggregation, 1 s
+/// regions update, and a 10..1000 regions range (§4, "Workloads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorAttrs {
+    /// Interval between access checks of each region's sample page.
+    pub sampling_interval: Ns,
+    /// Interval after which per-region access counters are aggregated,
+    /// reported, and reset.
+    pub aggregation_interval: Ns,
+    /// Interval after which the monitoring target (e.g. the VMA set) is
+    /// re-examined for changes such as `mmap()`.
+    pub regions_update_interval: Ns,
+    /// Lower bound on the number of regions (accuracy floor).
+    pub min_nr_regions: usize,
+    /// Upper bound on the number of regions (overhead ceiling).
+    pub max_nr_regions: usize,
+    /// Whether the adaptive regions adjustment (random split + similarity
+    /// merge) runs. Disabling it degrades the monitor to *static*
+    /// space-based sampling — the prior-work baseline the paper's
+    /// adaptive mechanism improves on (§2.2); exposed for ablation.
+    pub adaptive: bool,
+}
+
+impl Default for MonitorAttrs {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+impl MonitorAttrs {
+    /// The configuration used throughout the paper's evaluation.
+    pub fn paper_defaults() -> Self {
+        Self {
+            sampling_interval: ms(5),
+            aggregation_interval: ms(100),
+            regions_update_interval: sec(1),
+            min_nr_regions: 10,
+            max_nr_regions: 1000,
+            adaptive: true,
+        }
+    }
+
+    /// Maximum value one region's access counter can reach in one
+    /// aggregation window (= samples per window).
+    pub fn max_nr_accesses(&self) -> u32 {
+        (self.aggregation_interval / self.sampling_interval.max(1)) as u32
+    }
+
+    /// The merge-similarity threshold the adaptive adjustment uses:
+    /// 10 % of the maximum possible access count, as in the kernel
+    /// implementation.
+    pub fn merge_threshold(&self) -> u32 {
+        (self.max_nr_accesses() / 10).max(1)
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sampling_interval == 0 {
+            return Err("sampling_interval must be > 0".into());
+        }
+        if self.aggregation_interval < self.sampling_interval {
+            return Err("aggregation_interval must be >= sampling_interval".into());
+        }
+        if self.min_nr_regions < 3 {
+            return Err("min_nr_regions must be >= 3".into());
+        }
+        if self.max_nr_regions < self.min_nr_regions {
+            return Err("max_nr_regions must be >= min_nr_regions".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_evaluation_setup() {
+        let a = MonitorAttrs::paper_defaults();
+        assert_eq!(a.sampling_interval, ms(5));
+        assert_eq!(a.aggregation_interval, ms(100));
+        assert_eq!(a.regions_update_interval, sec(1));
+        assert_eq!(a.min_nr_regions, 10);
+        assert_eq!(a.max_nr_regions, 1000);
+        assert_eq!(a.max_nr_accesses(), 20);
+        assert_eq!(a.merge_threshold(), 2);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut a = MonitorAttrs::paper_defaults();
+        a.sampling_interval = 0;
+        assert!(a.validate().is_err());
+
+        let mut a = MonitorAttrs::paper_defaults();
+        a.aggregation_interval = a.sampling_interval / 2;
+        assert!(a.validate().is_err());
+
+        let mut a = MonitorAttrs::paper_defaults();
+        a.min_nr_regions = 2;
+        assert!(a.validate().is_err());
+
+        let mut a = MonitorAttrs::paper_defaults();
+        a.max_nr_regions = a.min_nr_regions - 1;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn merge_threshold_floor_is_one() {
+        let mut a = MonitorAttrs::paper_defaults();
+        a.aggregation_interval = a.sampling_interval; // 1 sample/window
+        assert_eq!(a.max_nr_accesses(), 1);
+        assert_eq!(a.merge_threshold(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The region set and the paper's **adaptive regions adjustment**:
+//! random-point splitting, similarity merging (with the aging mechanism
+//! folded in, as in the kernel), and target-range updates.
+
+use daos_mm::addr::{page_align_down, AddrRange, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::region::{Region, RegionInfo};
+
+/// An ordered, non-overlapping set of monitoring regions.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+}
+
+impl RegionSet {
+    /// Build the initial regions: `min_nr` regions distributed over the
+    /// target ranges proportionally to their size (each range gets at
+    /// least one), each range divided evenly at page granularity.
+    pub fn init(ranges: &[AddrRange], min_nr: usize) -> Self {
+        let ranges: Vec<AddrRange> = ranges.iter().filter(|r| !r.is_empty()).copied().collect();
+        let mut set = Self { regions: Vec::new() };
+        if ranges.is_empty() {
+            return set;
+        }
+        let total: u64 = ranges.iter().map(|r| r.len()).sum();
+        for r in &ranges {
+            let share =
+                ((min_nr as u64 * r.len()) / total.max(1)).max(1).min(r.nr_pages()) as usize;
+            set.append_evenly(*r, share);
+        }
+        set
+    }
+
+    fn append_evenly(&mut self, range: AddrRange, pieces: usize) {
+        let pages = range.nr_pages();
+        let pieces = (pieces as u64).min(pages).max(1);
+        let base = pages / pieces;
+        let extra = pages % pieces;
+        let mut start = range.start;
+        for i in 0..pieces {
+            let nr = base + if i < extra { 1 } else { 0 };
+            let end = if i == pieces - 1 { range.end } else { start + nr * PAGE_SIZE };
+            self.regions.push(Region::new(AddrRange::new(start, end)));
+            start = end;
+        }
+    }
+
+    /// Shared view of the regions, sorted by address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Mutable view (the sampling loop updates counters in place).
+    pub fn regions_mut(&mut self) -> &mut [Region] {
+        &mut self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total monitored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.sz()).sum()
+    }
+
+    /// Immutable snapshot for callbacks/schemes.
+    pub fn snapshot(&self) -> Vec<RegionInfo> {
+        self.regions.iter().map(RegionInfo::from).collect()
+    }
+
+    /// End-of-window counter reset: remember this window's counts for the
+    /// aging comparison, zero the live counters.
+    pub fn reset_aggregated(&mut self) {
+        for r in &mut self.regions {
+            r.last_nr_accesses = r.nr_accesses;
+            r.nr_accesses = 0;
+        }
+    }
+
+    /// The aging + merge pass, run once per aggregation interval.
+    ///
+    /// Aging (§3.1): a region whose access count moved by more than
+    /// `threshold` since the previous window has a *changed* pattern, so
+    /// its age resets; otherwise age increments.
+    ///
+    /// Merging: adjacent regions whose access counts differ by at most
+    /// `threshold` are combined, unless the result would exceed
+    /// `sz_limit` bytes or shrink the set below `min_nr` regions (the
+    /// paper's explicit lower bound).
+    pub fn merge_with_aging(&mut self, threshold: u32, sz_limit: u64, min_nr: usize) {
+        for r in &mut self.regions {
+            if r.nr_accesses.abs_diff(r.last_nr_accesses) > threshold {
+                r.age = 0;
+            } else {
+                r.age += 1;
+            }
+        }
+        if self.regions.len() <= min_nr {
+            return;
+        }
+        let mut merged: Vec<Region> = Vec::with_capacity(self.regions.len());
+        let mut count = self.regions.len();
+        for r in self.regions.drain(..) {
+            match merged.last_mut() {
+                Some(prev)
+                    if count > min_nr
+                        && prev.range.end == r.range.start
+                        && prev.nr_accesses.abs_diff(r.nr_accesses) <= threshold
+                        && prev.sz() + r.sz() <= sz_limit =>
+                {
+                    prev.merge_right(&r);
+                    count -= 1;
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.regions = merged;
+    }
+
+    /// The random splitting pass, run once per aggregation interval.
+    ///
+    /// Each region is split into 2 (or 3, when far below the cap) pieces
+    /// at random page-aligned points, so that sub-regions with distinct
+    /// access frequencies can be discovered next window. Splitting stops
+    /// at `max_nr` regions — the paper's overhead upper bound.
+    pub fn split(&mut self, rng: &mut SmallRng, max_nr: usize) {
+        let nr = self.regions.len();
+        if nr == 0 || nr >= max_nr {
+            return;
+        }
+        // Kernel heuristic: aim for 3 pieces while clearly below the cap.
+        let nr_pieces = if nr * 3 <= max_nr { 3 } else { 2 };
+        let mut out: Vec<Region> = Vec::with_capacity(nr * nr_pieces);
+        let mut total = nr;
+        for r in self.regions.drain(..) {
+            let mut rest = r;
+            for _ in 1..nr_pieces {
+                if total >= max_nr || !rest.splittable() {
+                    break;
+                }
+                // Random page-aligned split point strictly inside.
+                let pages = rest.nr_pages();
+                let cut_page = rng.random_range(1..pages);
+                let mid = page_align_down(rest.range.start) + cut_page * PAGE_SIZE;
+                if mid <= rest.range.start || mid >= rest.range.end {
+                    break;
+                }
+                let (lo, hi) = rest.split_at(mid);
+                out.push(lo);
+                rest = hi;
+                total += 1;
+            }
+            out.push(rest);
+        }
+        self.regions = out;
+    }
+
+    /// Adapt the region set to a changed set of target ranges (the
+    /// `regions update interval` handler): regions are clipped to the new
+    /// ranges, and uncovered parts of the new ranges get fresh regions.
+    pub fn update_ranges(&mut self, new_ranges: &[AddrRange]) {
+        let mut out: Vec<Region> = Vec::with_capacity(self.regions.len());
+        for range in new_ranges.iter().filter(|r| !r.is_empty()) {
+            let mut cursor = range.start;
+            for old in &self.regions {
+                let Some(isect) = old.range.intersect(range) else { continue };
+                if isect.start > cursor {
+                    out.push(Region::new(AddrRange::new(cursor, isect.start)));
+                }
+                let mut clipped = *old;
+                clipped.range = isect;
+                clipped.sampling_addr = None;
+                out.push(clipped);
+                cursor = isect.end.max(cursor);
+            }
+            if cursor < range.end {
+                out.push(Region::new(AddrRange::new(cursor, range.end)));
+            }
+        }
+        self.regions = out;
+    }
+
+    /// Debug invariant: sorted, non-overlapping, non-empty regions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.regions.windows(2) {
+            if w[0].range.end > w[1].range.start {
+                return Err(format!("overlap/order violation: {} then {}", w[0].range, w[1].range));
+            }
+        }
+        if let Some(r) = self.regions.iter().find(|r| r.range.is_empty()) {
+            return Err(format!("empty region at {}", r.range));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mb(n: u64) -> u64 {
+        n << 20
+    }
+
+    #[test]
+    fn init_distributes_proportionally() {
+        let ranges = [AddrRange::new(0, mb(30)), AddrRange::new(mb(100), mb(110))];
+        let set = RegionSet::init(&ranges, 8);
+        assert!(set.len() >= 2);
+        assert_eq!(set.total_bytes(), mb(40));
+        set.check_invariants().unwrap();
+        // The 30 MiB range should get ~3x the regions of the 10 MiB one.
+        let in_big = set.regions().iter().filter(|r| r.range.end <= mb(30)).count();
+        let in_small = set.len() - in_big;
+        assert!(in_big > in_small);
+    }
+
+    #[test]
+    fn init_with_empty_ranges() {
+        let set = RegionSet::init(&[], 10);
+        assert!(set.is_empty());
+        let set = RegionSet::init(&[AddrRange::empty()], 10);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn init_single_page_range() {
+        let set = RegionSet::init(&[AddrRange::new(0, PAGE_SIZE)], 10);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn split_preserves_bytes_and_respects_max() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(64))], 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let before = set.total_bytes();
+        for _ in 0..10 {
+            set.split(&mut rng, 100);
+            assert_eq!(set.total_bytes(), before, "split conserves bytes");
+            set.check_invariants().unwrap();
+            assert!(set.len() <= 100);
+        }
+        assert_eq!(set.len(), 100, "splitting saturates at max_nr");
+    }
+
+    #[test]
+    fn merge_similar_neighbours() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(8))], 8);
+        // All counters zero → everything similar → merges down to min_nr.
+        let before = set.total_bytes();
+        set.merge_with_aging(2, u64::MAX, 3);
+        assert_eq!(set.len(), 3, "merging floors at min_nr");
+        assert_eq!(set.total_bytes(), before);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_keeps_dissimilar_apart() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(4))], 4);
+        // Make region 1 hot.
+        set.regions_mut()[1].nr_accesses = 20;
+        set.merge_with_aging(2, u64::MAX, 1);
+        // Hot region must not merge into cold neighbours.
+        assert!(set.len() >= 2);
+        assert!(set.regions().iter().any(|r| r.nr_accesses >= 10));
+    }
+
+    #[test]
+    fn merge_respects_sz_limit() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(8))], 8);
+        let max_region = mb(2);
+        set.merge_with_aging(2, max_region, 1);
+        for r in set.regions() {
+            assert!(r.sz() <= max_region);
+        }
+    }
+
+    #[test]
+    fn aging_increments_when_stable_resets_on_change() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 3);
+        for r in set.regions_mut() {
+            r.nr_accesses = 5;
+            r.last_nr_accesses = 5;
+        }
+        set.merge_with_aging(2, PAGE_SIZE, 3); // sz_limit small: no merging
+        assert!(set.regions().iter().all(|r| r.age == 1));
+        set.reset_aggregated();
+        for r in set.regions_mut() {
+            r.nr_accesses = 15; // big change
+        }
+        set.merge_with_aging(2, PAGE_SIZE, 3);
+        assert!(set.regions().iter().all(|r| r.age == 0), "age reset on change");
+    }
+
+    #[test]
+    fn reset_aggregated_rolls_window() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 3);
+        set.regions_mut()[0].nr_accesses = 9;
+        set.reset_aggregated();
+        assert_eq!(set.regions()[0].nr_accesses, 0);
+        assert_eq!(set.regions()[0].last_nr_accesses, 9);
+    }
+
+    #[test]
+    fn update_ranges_keeps_overlap_counters() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(4))], 4);
+        for r in set.regions_mut() {
+            r.nr_accesses = 7;
+            r.age = 3;
+        }
+        // Target grew by 2 MiB and lost its first MiB.
+        set.update_ranges(&[AddrRange::new(mb(1), mb(6))]);
+        set.check_invariants().unwrap();
+        assert_eq!(set.total_bytes(), mb(5));
+        // Old overlap keeps counters; the new tail starts fresh.
+        let first = &set.regions()[0];
+        assert_eq!(first.nr_accesses, 7);
+        assert_eq!(first.age, 3);
+        let last = set.regions().last().unwrap();
+        assert_eq!(last.nr_accesses, 0);
+        assert_eq!(last.age, 0);
+        assert_eq!(last.range.end, mb(6));
+    }
+
+    #[test]
+    fn update_ranges_fills_holes_between_regions() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 3);
+        // New target has a second disjoint range → fresh region there.
+        set.update_ranges(&[AddrRange::new(0, mb(1)), AddrRange::new(mb(10), mb(12))]);
+        set.check_invariants().unwrap();
+        assert_eq!(set.total_bytes(), mb(3));
+        assert!(set.regions().iter().any(|r| r.range.start >= mb(10)));
+    }
+
+    #[test]
+    fn split_then_merge_roundtrip_conserves() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(16))], 10);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bytes = set.total_bytes();
+        for _ in 0..20 {
+            set.split(&mut rng, 50);
+            set.merge_with_aging(2, mb(16) / 10, 10);
+            assert_eq!(set.total_bytes(), bytes);
+            set.check_invariants().unwrap();
+            assert!(set.len() <= 50);
+            assert!(set.len() >= 10 || set.len() == 50);
+        }
+    }
+}

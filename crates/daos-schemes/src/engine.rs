@@ -1,0 +1,544 @@
+//! The schemes engine loop: read each aggregation result, find regions
+//! fulfilling scheme conditions, apply the actions (§3.2).
+
+use daos_mm::addr::AddrRange;
+use daos_mm::clock::Ns;
+use daos_mm::process::Pid;
+use daos_mm::system::MemorySystem;
+use daos_monitor::{Aggregation, RegionInfo};
+
+use crate::action::Action;
+use crate::filter::{apply_filters, AddrFilter};
+use crate::quota::{prioritize, Quota, QuotaState};
+use crate::scheme::Scheme;
+use crate::stats::SchemeStats;
+use crate::watermarks::{free_mem_permille, WatermarkState, Watermarks};
+
+/// What address space the engine applies actions to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeTarget {
+    /// A process's virtual address space.
+    Virtual(Pid),
+    /// The machine's physical address space (rmap-based actions).
+    Physical,
+}
+
+/// Result of one engine pass over an aggregation window.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EnginePass {
+    /// Kernel CPU time the actions consumed.
+    pub work_ns: Ns,
+    /// Bytes paged out this pass.
+    pub paged_out: u64,
+    /// Bytes THP-promoted this pass.
+    pub promoted: u64,
+    /// Bytes freed by THP demotion this pass.
+    pub demoted_freed: u64,
+    /// Bytes counted by STAT schemes this pass.
+    pub stat_bytes: u64,
+    /// Regions counted by STAT schemes this pass.
+    pub stat_regions: u64,
+}
+
+/// The Memory Management Schemes Engine.
+#[derive(Debug)]
+pub struct SchemesEngine {
+    target: SchemeTarget,
+    schemes: Vec<Scheme>,
+    stats: Vec<SchemeStats>,
+    quotas: Vec<Option<QuotaState>>,
+    wmarks: Vec<Option<(Watermarks, WatermarkState)>>,
+    filters: Vec<Vec<AddrFilter>>,
+}
+
+impl SchemesEngine {
+    /// Build an engine applying `schemes` (in order) to `target`.
+    pub fn new(target: SchemeTarget, schemes: Vec<Scheme>) -> Self {
+        let n = schemes.len();
+        Self {
+            target,
+            schemes,
+            stats: vec![SchemeStats::default(); n],
+            quotas: vec![None; n],
+            wmarks: vec![None; n],
+            filters: vec![Vec::new(); n],
+        }
+    }
+
+    /// Attach a quota to scheme `idx` (extension; see `quota` module).
+    pub fn set_quota(&mut self, idx: usize, quota: Quota, now: Ns) {
+        self.quotas[idx] = Some(QuotaState::new(quota, now));
+    }
+
+    /// Attach watermarks to scheme `idx`: the scheme only acts while the
+    /// free-memory metric sits in the configured band (see `watermarks`).
+    pub fn set_watermarks(&mut self, idx: usize, wmarks: Watermarks) {
+        debug_assert!(wmarks.validate().is_ok());
+        self.wmarks[idx] = Some((wmarks, WatermarkState::Inactive));
+    }
+
+    /// Append an address filter to scheme `idx` (see `filter`).
+    pub fn add_filter(&mut self, idx: usize, filter: AddrFilter) {
+        self.filters[idx].push(filter);
+    }
+
+    /// Current watermark activation state of scheme `idx` (None = no
+    /// watermarks configured, i.e. always active).
+    pub fn watermark_state(&self, idx: usize) -> Option<WatermarkState> {
+        self.wmarks[idx].map(|(_, st)| st)
+    }
+
+    /// The configured schemes.
+    pub fn schemes(&self) -> &[Scheme] {
+        &self.schemes
+    }
+
+    /// Per-scheme statistics, parallel to [`Self::schemes`].
+    pub fn stats(&self) -> &[SchemeStats] {
+        &self.stats
+    }
+
+    /// The engine's target space.
+    pub fn target(&self) -> SchemeTarget {
+        self.target
+    }
+
+    /// Process one aggregation window: match and apply every scheme.
+    ///
+    /// Returns what was done; `work_ns` should be charged through
+    /// [`MemorySystem::charge_schemes`] by the caller.
+    pub fn on_aggregation(&mut self, sys: &mut MemorySystem, agg: &Aggregation) -> EnginePass {
+        let mut pass = EnginePass::default();
+        let free_permille = free_mem_permille(sys);
+        for i in 0..self.schemes.len() {
+            // Watermarks: advance the activation state machine and skip
+            // dormant schemes.
+            if let Some((wm, state)) = &mut self.wmarks[i] {
+                *state = wm.next_state(free_permille, *state);
+                if *state == WatermarkState::Inactive {
+                    continue;
+                }
+            }
+            let scheme = self.schemes[i];
+            let mut matching: Vec<RegionInfo> = agg
+                .regions
+                .iter()
+                .filter(|r| scheme.matches(r, agg))
+                .copied()
+                .collect();
+            if matching.is_empty() {
+                continue;
+            }
+            // With a quota, spend the budget on the best regions first.
+            if self.quotas[i].is_some() {
+                prioritize(scheme.action, &mut matching, agg);
+            }
+            if let Some(q) = &mut self.quotas[i] {
+                q.maybe_reset(agg.at);
+            }
+            for r in &matching {
+                self.stats[i].tried(r.range.len());
+                let granted = match &mut self.quotas[i] {
+                    Some(q) => {
+                        let g = q.consume(r.range.len());
+                        if g == 0 {
+                            self.stats[i].nr_quota_skips += 1;
+                            continue;
+                        }
+                        g
+                    }
+                    None => r.range.len(),
+                };
+                // Clip the acted-on range to the granted budget, then
+                // run it through the scheme's address filters.
+                let range = AddrRange::new(r.range.start, r.range.start + granted);
+                for allowed in apply_filters(range, &self.filters[i]) {
+                    let applied =
+                        Self::apply(self.target, scheme.action, sys, allowed, &mut pass);
+                    if applied > 0 {
+                        self.stats[i].applied(applied);
+                    }
+                }
+            }
+        }
+        pass
+    }
+
+    /// Apply one action to one range; returns affected bytes.
+    fn apply(
+        target: SchemeTarget,
+        action: Action,
+        sys: &mut MemorySystem,
+        range: AddrRange,
+        pass: &mut EnginePass,
+    ) -> u64 {
+        match (target, action) {
+            (_, Action::Stat) => {
+                pass.stat_bytes += range.len();
+                pass.stat_regions += 1;
+                range.len()
+            }
+            (SchemeTarget::Virtual(pid), Action::Pageout) => {
+                let (bytes, ns) = sys.pageout(pid, range).unwrap_or((0, 0));
+                pass.work_ns += ns;
+                pass.paged_out += bytes;
+                bytes
+            }
+            (SchemeTarget::Physical, Action::Pageout) => {
+                let (bytes, ns) = sys.pageout_paddr(range);
+                pass.work_ns += ns;
+                pass.paged_out += bytes;
+                bytes
+            }
+            (SchemeTarget::Virtual(pid), Action::Hugepage) => {
+                let (chunks, ns) = sys.promote_huge(pid, range).unwrap_or((0, 0));
+                pass.work_ns += ns;
+                let bytes = chunks * daos_mm::addr::HUGE_PAGE_SIZE;
+                pass.promoted += bytes;
+                bytes
+            }
+            (SchemeTarget::Virtual(pid), Action::Nohugepage) => {
+                let (freed, ns) = sys.demote_huge(pid, range).unwrap_or((0, 0));
+                pass.work_ns += ns;
+                pass.demoted_freed += freed;
+                freed
+            }
+            (SchemeTarget::Virtual(pid), Action::Cold)
+            | (SchemeTarget::Virtual(pid), Action::LruDeprio) => {
+                sys.mark_cold(pid, range).unwrap_or(0) * daos_mm::addr::PAGE_SIZE
+            }
+            (SchemeTarget::Virtual(pid), Action::LruPrio) => {
+                sys.mark_hot(pid, range).unwrap_or(0) * daos_mm::addr::PAGE_SIZE
+            }
+            (SchemeTarget::Virtual(pid), Action::Willneed) => {
+                let (bytes, ns) = sys.willneed(pid, range).unwrap_or((0, 0));
+                pass.work_ns += ns;
+                bytes
+            }
+            // THP / madvise actions need a virtual mapping; on physical
+            // targets they are unsupported (as in the kernel).
+            (SchemeTarget::Physical, _) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_mm::access::AccessBatch;
+    use daos_mm::addr::HUGE_PAGE_SIZE;
+    use daos_mm::clock::ms;
+    use daos_mm::machine::MachineProfile;
+    use daos_mm::swap::SwapConfig;
+    use daos_mm::vma::ThpMode;
+    use daos_monitor::RegionInfo;
+
+    use crate::parser::parse_scheme_line;
+    use crate::scheme::Scheme;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MachineProfile::test_tiny(), SwapConfig::paper_zram(), 99)
+    }
+
+    fn agg_of(regions: Vec<RegionInfo>) -> Aggregation {
+        Aggregation { at: 0, regions, max_nr_accesses: 20, aggregation_interval: ms(100) }
+    }
+
+    fn info(range: AddrRange, nr: u32, age: u32) -> RegionInfo {
+        RegionInfo { range, nr_accesses: nr, age }
+    }
+
+    /// Tests fabricate "idle" regions right after touching them; drop the
+    /// reference bits so reclaim's second chance does not defer eviction.
+    fn clear_refs(sys: &mut MemorySystem, pid: u32, range: AddrRange) {
+        for p in range.pages() {
+            sys.check_accessed_clear(pid, p);
+        }
+    }
+
+    #[test]
+    fn pageout_scheme_reclaims_idle_region() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+
+        // prcl from Listing 3: "4K max min min 5s max pageout" — age ≥ 5s.
+        let scheme = parse_scheme_line("4K max min min 5s max pageout").unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
+
+        // Young region: nothing happens.
+        let agg = agg_of(vec![info(range, 0, 10)]); // 10 intervals = 1s < 5s
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 0);
+        assert_eq!(engine.stats()[0].nr_tried, 0);
+
+        // Old idle region: paged out.
+        clear_refs(&mut sys, pid, range);
+        let agg = agg_of(vec![info(range, 0, 60)]); // 6s ≥ 5s
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 1 << 20);
+        assert_eq!(sys.rss_bytes(pid), 0);
+        assert_eq!(engine.stats()[0].nr_applied, 1);
+        assert!(pass.work_ns > 0);
+    }
+
+    #[test]
+    fn pageout_skips_accessed_regions() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        let scheme = parse_scheme_line("min max min min 1s max pageout").unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
+        // Region is old but has nr_accesses=3 → max_freq 'min' (0) fails.
+        let agg = agg_of(vec![info(range, 3, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 0);
+        assert_eq!(sys.rss_bytes(pid), 1 << 20);
+    }
+
+    #[test]
+    fn ethp_promotes_hot_and_demotes_cold() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys
+            .mmap_at(pid, 8 * HUGE_PAGE_SIZE, 2 * HUGE_PAGE_SIZE, ThpMode::Always)
+            .unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+
+        let schemes = vec![
+            parse_scheme_line("min max 5 max min max hugepage").unwrap(),
+            parse_scheme_line("2M max min min 7s max nohugepage").unwrap(),
+        ];
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), schemes);
+
+        // Hot region → promotion.
+        let agg = agg_of(vec![info(range, 10, 2)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.promoted, 2 * HUGE_PAGE_SIZE);
+        assert_eq!(sys.huge_bytes(pid), 2 * HUGE_PAGE_SIZE);
+
+        // Later the region goes idle for ≥7s → demotion (no bloat to free
+        // here since all pages were touched, but the huge mapping goes).
+        let agg = agg_of(vec![info(range, 0, 80)]);
+        engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(sys.huge_bytes(pid), 0);
+    }
+
+    #[test]
+    fn stat_action_counts_without_side_effects() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Stat)]);
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.stat_bytes, 1 << 20);
+        assert_eq!(pass.stat_regions, 1);
+        assert_eq!(sys.rss_bytes(pid), 1 << 20, "STAT must not modify memory");
+    }
+
+    #[test]
+    fn physical_target_pageout_works_thp_noop() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let phys = sys.phys_space();
+        let mut engine = SchemesEngine::new(
+            SchemeTarget::Physical,
+            vec![Scheme::any(Action::Pageout), Scheme::any(Action::Hugepage)],
+        );
+        let agg = agg_of(vec![info(phys, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 256 << 10, "all mapped frames paged out via rmap");
+        assert_eq!(pass.promoted, 0, "hugepage unsupported on physical target");
+        assert_eq!(sys.rss_bytes(pid), 0);
+    }
+
+    #[test]
+    fn quota_limits_bytes_per_window() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let scheme = Scheme::any(Action::Pageout);
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
+        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 256 << 10, "quota caps the pageout");
+        assert_eq!(sys.rss_bytes(pid), (1 << 20) - (256 << 10));
+    }
+
+    #[test]
+    fn quota_prioritizes_coldest_regions() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let a = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        let b = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(a, 1.0)).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(b, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, a);
+        clear_refs(&mut sys, pid, b);
+        let scheme = Scheme::any(Action::Pageout);
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
+        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
+        // b is much older/colder than a.
+        let agg = agg_of(vec![info(a, 2, 1), info(b, 0, 90)]);
+        engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(sys.nr_swapped_in(pid, b), 64, "cold region b evicted first");
+        assert_eq!(sys.nr_swapped_in(pid, a), 0);
+        assert_eq!(engine.stats()[0].nr_quota_skips, 1);
+    }
+
+    #[test]
+    fn multiple_schemes_apply_in_order() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 512 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let schemes = vec![Scheme::any(Action::Stat), Scheme::any(Action::Pageout)];
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), schemes);
+        let agg = agg_of(vec![info(range, 0, 10)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        // STAT saw the region resident; PAGEOUT then reclaimed it.
+        assert_eq!(pass.stat_bytes, 512 << 10);
+        assert_eq!(pass.paged_out, 512 << 10);
+        assert_eq!(engine.stats()[0].nr_applied, 1);
+        assert_eq!(engine.stats()[1].nr_applied, 1);
+    }
+
+    #[test]
+    fn cold_action_deactivates() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 128 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Cold)]);
+        let agg = agg_of(vec![info(range, 0, 10)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(engine.stats()[0].sz_applied, 128 << 10);
+        assert_eq!(pass.paged_out, 0, "COLD only deactivates");
+        assert_eq!(sys.rss_bytes(pid), 128 << 10);
+    }
+
+    #[test]
+    fn willneed_action_prefetches() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 128 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        sys.pageout(pid, range).unwrap();
+        assert_eq!(sys.rss_bytes(pid), 0);
+        let mut engine = SchemesEngine::new(
+            SchemeTarget::Virtual(pid),
+            vec![Scheme::any(Action::Willneed)],
+        );
+        let agg = agg_of(vec![info(range, 0, 0)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert!(pass.work_ns > 0);
+        assert_eq!(sys.rss_bytes(pid), 128 << 10, "prefetched back in");
+    }
+
+    #[test]
+    fn watermarks_gate_scheme_activation() {
+        // Tiny DRAM so free memory moves visibly: 8 MiB total.
+        let mut m = MachineProfile::test_tiny();
+        m.dram_bytes = 8 << 20;
+        let mut sys = MemorySystem::new(m, SwapConfig::paper_zram(), 1);
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 2 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
+        // Activate only below 50% free; currently 75% free → dormant.
+        engine.set_watermarks(
+            0,
+            crate::watermarks::Watermarks {
+                metric: crate::watermarks::WatermarkMetric::FreeMemPermille,
+                high: 600,
+                mid: 500,
+                low: 100,
+            },
+        );
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 0, "75% free: watermarks keep the scheme dormant");
+        assert_eq!(
+            engine.watermark_state(0),
+            Some(crate::watermarks::WatermarkState::Inactive)
+        );
+
+        // Build pressure: map+touch 3 more MiB → 37% free → activates.
+        let more = sys.mmap(pid, 3 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(more, 1.0)).unwrap();
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert!(pass.paged_out > 0, "under pressure the scheme activates");
+        assert_eq!(
+            engine.watermark_state(0),
+            Some(crate::watermarks::WatermarkState::Active)
+        );
+    }
+
+    #[test]
+    fn filters_protect_ranges_from_actions() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
+        // Protect the middle half of the mapping.
+        let protected = AddrRange::new(range.start + (256 << 10), range.start + (768 << 10));
+        engine.add_filter(0, crate::filter::AddrFilter::reject(protected));
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 512 << 10, "only the unprotected half went out");
+        assert_eq!(
+            sys.nr_resident_in(pid, protected),
+            protected.nr_pages(),
+            "the protected range stayed resident"
+        );
+    }
+
+    #[test]
+    fn allow_filter_confines_action() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
+        let arena = AddrRange::new(range.start, range.start + (128 << 10));
+        engine.add_filter(0, crate::filter::AddrFilter::allow(arena));
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 128 << 10);
+    }
+
+    #[test]
+    fn listing1_written_in_2_plus_1_lines() {
+        // The paper's claim: access-aware THP in 2 lines, proactive
+        // reclamation in 1 line of scheme DSL.
+        let ethp = "\
+2MB max 80% max 1m max thp
+min max min 5% 1m max nothp";
+        let prcl = "min max min min 2m max page_out";
+        assert_eq!(crate::parser::parse_schemes(ethp).unwrap().len(), 2);
+        assert_eq!(crate::parser::parse_schemes(prcl).unwrap().len(), 1);
+    }
+}

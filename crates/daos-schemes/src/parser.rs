@@ -1,0 +1,322 @@
+//! The scheme DSL parser (the paper's Listings 1 and 3 format).
+//!
+//! One scheme per line:
+//!
+//! ```text
+//! # size      frequency   age        action
+//! min max     min  min    2m  max    page_out
+//! 2MB max     80%  max    1m  max    thp
+//! min max     min  5%     1m  max    nothp
+//! ```
+//!
+//! The `min` and `max` keywords denote the *smallest/largest possible
+//! value* of the field. In Listing 1's first scheme the frequency pair is
+//! `min min` — lower bound "minimum possible" (no constraint) and upper
+//! bound *also* "minimum possible" (zero), i.e. only never-accessed
+//! regions match. Field syntax:
+//!
+//! * sizes: `min`/`max`, or a number with optional unit
+//!   (`B`, `K`/`KB`/`KiB`, `M`/`MB`/`MiB`, `G`/`GB`/`GiB`, `T`);
+//! * frequencies: `min`/`max`, `NN%`, or a raw sample count;
+//! * ages: `min`/`max`, a bare number (aggregation intervals), or a time
+//!   with unit (`us`, `ms`, `s`, `m`, `h`);
+//! * actions: Table 1 keywords plus the paper's aliases
+//!   (`thp`, `nothp`, `page_out`).
+
+use daos_mm::clock::Ns;
+
+use crate::action::Action;
+use crate::scheme::{AgeVal, Bound, FreqVal, Scheme};
+
+/// A parse failure with its line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Which slot of a bound pair a token sits in.
+#[derive(Clone, Copy, PartialEq)]
+enum Slot {
+    Lower,
+    Upper,
+}
+
+/// Parse a whole scheme file: one scheme per non-comment line.
+pub fn parse_schemes(text: &str) -> Result<Vec<Scheme>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_scheme_line(line).map_err(|message| ParseError { line: i + 1, message })?);
+    }
+    Ok(out)
+}
+
+/// Parse a single scheme line.
+pub fn parse_scheme_line(line: &str) -> Result<Scheme, String> {
+    let tok: Vec<&str> = line.split_whitespace().collect();
+    if tok.len() != 7 {
+        return Err(format!("expected 7 fields (got {}): '{line}'", tok.len()));
+    }
+    let min_sz = parse_sz(tok[0], Slot::Lower)?;
+    let max_sz = parse_sz(tok[1], Slot::Upper)?;
+    let min_freq = parse_freq(tok[2], Slot::Lower)?;
+    let max_freq = parse_freq(tok[3], Slot::Upper)?;
+    let min_age = parse_age(tok[4], Slot::Lower)?;
+    let max_age = parse_age(tok[5], Slot::Upper)?;
+    let action = Action::from_keyword(tok[6])
+        .ok_or_else(|| format!("unknown action '{}'", tok[6]))?;
+    Ok(Scheme { min_sz, max_sz, min_freq, max_freq, min_age, max_age, action })
+}
+
+/// Resolve the `min`/`max` keywords: a keyword matching its own slot is a
+/// no-constraint wildcard; the opposite keyword pins the bound to the
+/// field's extreme value.
+fn keyword_bound<T>(tok: &str, slot: Slot, type_min: T, type_max: T) -> Option<Bound<T>> {
+    if tok.eq_ignore_ascii_case("min") {
+        Some(match slot {
+            Slot::Lower => Bound::Unbounded,
+            Slot::Upper => Bound::Val(type_min),
+        })
+    } else if tok.eq_ignore_ascii_case("max") {
+        Some(match slot {
+            Slot::Upper => Bound::Unbounded,
+            Slot::Lower => Bound::Val(type_max),
+        })
+    } else {
+        None
+    }
+}
+
+fn parse_sz(tok: &str, slot: Slot) -> Result<Bound<u64>, String> {
+    if let Some(b) = keyword_bound(tok, slot, 0u64, u64::MAX) {
+        return Ok(b);
+    }
+    let (num, unit) = split_num_unit(tok)?;
+    let mult: u64 = match unit.to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" | "kib" => 1 << 10,
+        "m" | "mb" | "mib" => 1 << 20,
+        "g" | "gb" | "gib" => 1 << 30,
+        "t" | "tb" | "tib" => 1 << 40,
+        other => return Err(format!("unknown size unit '{other}' in '{tok}'")),
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad size number '{num}'"))?;
+    if v < 0.0 {
+        return Err(format!("negative size '{tok}'"));
+    }
+    Ok(Bound::Val((v * mult as f64) as u64))
+}
+
+fn parse_freq(tok: &str, slot: Slot) -> Result<Bound<FreqVal>, String> {
+    if let Some(b) = keyword_bound(tok, slot, FreqVal::Samples(0), FreqVal::Percent(100.0)) {
+        return Ok(b);
+    }
+    if let Some(p) = tok.strip_suffix('%') {
+        let v: f64 = p.parse().map_err(|_| format!("bad percentage '{tok}'"))?;
+        if !(0.0..=100.0).contains(&v) {
+            return Err(format!("percentage out of range '{tok}'"));
+        }
+        return Ok(Bound::Val(FreqVal::Percent(v)));
+    }
+    let v: u32 = tok.parse().map_err(|_| format!("bad sample count '{tok}'"))?;
+    Ok(Bound::Val(FreqVal::Samples(v)))
+}
+
+fn parse_age(tok: &str, slot: Slot) -> Result<Bound<AgeVal>, String> {
+    if let Some(b) =
+        keyword_bound(tok, slot, AgeVal::Intervals(0), AgeVal::Intervals(u32::MAX))
+    {
+        return Ok(b);
+    }
+    let (num, unit) = split_num_unit(tok)?;
+    let v: f64 = num.parse().map_err(|_| format!("bad age number '{num}'"))?;
+    if v < 0.0 {
+        return Err(format!("negative age '{tok}'"));
+    }
+    let ns: Option<Ns> = match unit.to_ascii_lowercase().as_str() {
+        "" => None, // bare number = aggregation intervals
+        "ns" => Some(v as Ns),
+        "us" => Some((v * 1e3) as Ns),
+        "ms" => Some((v * 1e6) as Ns),
+        "s" => Some((v * 1e9) as Ns),
+        "m" => Some((v * 60e9) as Ns),
+        "h" => Some((v * 3600e9) as Ns),
+        other => return Err(format!("unknown age unit '{other}' in '{tok}'")),
+    };
+    Ok(Bound::Val(match ns {
+        Some(t) => AgeVal::Time(t),
+        None => AgeVal::Intervals(v as u32),
+    }))
+}
+
+fn split_num_unit(tok: &str) -> Result<(&str, &str), String> {
+    let split = tok
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_digit() || *c == '.'))
+        .map(|(i, _)| i)
+        .unwrap_or(tok.len());
+    if split == 0 {
+        return Err(format!("expected a number in '{tok}'"));
+    }
+    Ok((&tok[..split], &tok[split..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_mm::clock::{sec, MINUTE};
+
+    /// Listing 1 of the paper must parse to the documented semantics.
+    #[test]
+    fn paper_listing1_parses() {
+        let text = "\
+# size frequency age action
+# page out memory regions not accessed >= 2 minutes
+min max min min 2m max page_out
+
+# Use THP for >=2MiB regions having >=80% frequency ratio for >=1 minute
+2MB max 80% max 1m max thp
+
+# Do not use THP for regions having <=5% frequency ratio for >=1 minute
+min max min 5% 1m max nothp
+";
+        let schemes = parse_schemes(text).unwrap();
+        assert_eq!(schemes.len(), 3);
+
+        let prcl = &schemes[0];
+        assert_eq!(prcl.action, Action::Pageout);
+        assert_eq!(prcl.min_age, Bound::Val(AgeVal::Time(2 * MINUTE)));
+        // "min" in the max-frequency slot = at most the minimum possible
+        // frequency, i.e. only *never accessed* regions.
+        assert_eq!(prcl.max_freq, Bound::Val(FreqVal::Samples(0)));
+        assert_eq!(prcl.min_freq, Bound::Unbounded);
+
+        let ethp = &schemes[1];
+        assert_eq!(ethp.action, Action::Hugepage);
+        assert_eq!(ethp.min_sz, Bound::Val(2 << 20));
+        assert_eq!(ethp.min_freq, Bound::Val(FreqVal::Percent(80.0)));
+        assert_eq!(ethp.min_age, Bound::Val(AgeVal::Time(MINUTE)));
+
+        let nothp = &schemes[2];
+        assert_eq!(nothp.action, Action::Nohugepage);
+        assert_eq!(nothp.max_freq, Bound::Val(FreqVal::Percent(5.0)));
+    }
+
+    /// Listing 3 of the paper (the evaluation's ethp + prcl schemes).
+    #[test]
+    fn paper_listing3_parses() {
+        let text = "\
+# size frequency age action
+min max 5 max min max hugepage
+2M max min min 7s max nohugepage
+
+4K max min min 5s max pageout
+";
+        let schemes = parse_schemes(text).unwrap();
+        assert_eq!(schemes.len(), 3);
+        assert_eq!(schemes[0].action, Action::Hugepage);
+        assert_eq!(schemes[0].min_freq, Bound::Val(FreqVal::Samples(5)));
+        assert_eq!(schemes[1].action, Action::Nohugepage);
+        assert_eq!(schemes[1].min_sz, Bound::Val(2 << 20));
+        assert_eq!(schemes[1].max_freq, Bound::Val(FreqVal::Samples(0)));
+        assert_eq!(schemes[1].min_age, Bound::Val(AgeVal::Time(sec(7))));
+        assert_eq!(schemes[2].action, Action::Pageout);
+        assert_eq!(schemes[2].min_sz, Bound::Val(4 << 10));
+        assert_eq!(schemes[2].max_freq, Bound::Val(FreqVal::Samples(0)));
+        assert_eq!(schemes[2].min_age, Bound::Val(AgeVal::Time(sec(5))));
+    }
+
+    #[test]
+    fn keyword_semantics_are_positional() {
+        // Matching keyword in its own slot = wildcard.
+        let s = parse_scheme_line("min max min max min max stat").unwrap();
+        assert_eq!(s, Scheme::any(Action::Stat));
+        // Opposite keyword pins the extreme value.
+        let s = parse_scheme_line("max max min max min max stat").unwrap();
+        assert_eq!(s.min_sz, Bound::Val(u64::MAX));
+        let s = parse_scheme_line("min max max max min max stat").unwrap();
+        assert_eq!(s.min_freq, Bound::Val(FreqVal::Percent(100.0)));
+        let s = parse_scheme_line("min max min max min min stat").unwrap();
+        assert_eq!(s.max_age, Bound::Val(AgeVal::Intervals(0)));
+    }
+
+    #[test]
+    fn size_units() {
+        let s = parse_scheme_line("4K 2M min max min max stat").unwrap();
+        assert_eq!(s.min_sz, Bound::Val(4096));
+        assert_eq!(s.max_sz, Bound::Val(2 << 20));
+        let s = parse_scheme_line("1GiB 1T min max min max stat").unwrap();
+        assert_eq!(s.min_sz, Bound::Val(1 << 30));
+        assert_eq!(s.max_sz, Bound::Val(1 << 40));
+        let s = parse_scheme_line("512 1024B min max min max stat").unwrap();
+        assert_eq!(s.min_sz, Bound::Val(512));
+        assert_eq!(s.max_sz, Bound::Val(1024));
+    }
+
+    #[test]
+    fn fractional_sizes() {
+        let s = parse_scheme_line("0.5M max min max min max stat").unwrap();
+        assert_eq!(s.min_sz, Bound::Val(512 << 10));
+    }
+
+    #[test]
+    fn age_units() {
+        let s = parse_scheme_line("min max min max 100ms 2h stat").unwrap();
+        assert_eq!(s.min_age, Bound::Val(AgeVal::Time(100_000_000)));
+        assert_eq!(s.max_age, Bound::Val(AgeVal::Time(7200 * 1_000_000_000)));
+        let s = parse_scheme_line("min max min max 7 max stat").unwrap();
+        assert_eq!(s.min_age, Bound::Val(AgeVal::Intervals(7)));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let err = parse_schemes("min max min max min max stat\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_scheme_line("min max min max min max explode").is_err());
+        assert!(parse_scheme_line("min max min max min max").is_err());
+        assert!(parse_scheme_line("min max 120% max min max stat").is_err());
+        assert!(parse_scheme_line("min max min max 5parsecs max stat").is_err());
+        assert!(parse_scheme_line("4X max min max min max stat").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let schemes = parse_schemes("\n# only a comment\n   \n").unwrap();
+        assert!(schemes.is_empty());
+        let schemes =
+            parse_schemes("min max min max min max stat # trailing comment").unwrap();
+        assert_eq!(schemes.len(), 1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let originals = [
+            "min max min min 2m max pageout",
+            "2M max 80% max 1m max hugepage",
+            "min max min 5% 1m max nohugepage",
+            "4K 1G 3 18 7 900 cold",
+            "min max min max min max stat",
+            "8K max min max 30s max willneed",
+        ];
+        for line in originals {
+            let s = parse_scheme_line(line).unwrap();
+            let rendered = s.to_string();
+            let reparsed = parse_scheme_line(&rendered).unwrap();
+            assert_eq!(s, reparsed, "roundtrip failed for '{line}' → '{rendered}'");
+        }
+    }
+}

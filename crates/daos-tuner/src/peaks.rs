@@ -1,0 +1,133 @@
+//! Peak finding on the fitted curve (§3.5: "On the fitted curve, the
+//! system finds peaks using gradients and finally applies the
+//! configuration of the peak having the highest score").
+
+use crate::polyfit::Polynomial;
+
+/// A local maximum of the curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Location (parameter value).
+    pub x: f64,
+    /// Curve value at the peak.
+    pub y: f64,
+}
+
+/// Find all local maxima of `poly` on `[lo, hi]` by scanning the gradient
+/// for sign changes (+ → −) on a fine grid, refining each bracket by
+/// bisection on the derivative. Interval endpoints count as peaks when the
+/// curve slopes down into the interval (lo) or up to the end (hi).
+pub fn find_peaks(poly: &Polynomial, lo: f64, hi: f64) -> Vec<Peak> {
+    const GRID: usize = 512;
+    let mut peaks = Vec::new();
+    // NaN-safe emptiness check: deliberately NOT `hi <= lo` (NaN must bail).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(hi > lo) {
+        return peaks;
+    }
+    let step = (hi - lo) / GRID as f64;
+    let mut prev_x = lo;
+    let mut prev_d = poly.deriv(lo);
+    if prev_d < 0.0 {
+        peaks.push(Peak { x: lo, y: poly.eval(lo) });
+    }
+    for i in 1..=GRID {
+        let x = lo + i as f64 * step;
+        let d = poly.deriv(x);
+        if prev_d > 0.0 && d <= 0.0 {
+            // Bracketed maximum; bisect the derivative root.
+            let (mut a, mut b) = (prev_x, x);
+            for _ in 0..60 {
+                let m = (a + b) / 2.0;
+                if poly.deriv(m) > 0.0 {
+                    a = m;
+                } else {
+                    b = m;
+                }
+            }
+            let px = (a + b) / 2.0;
+            peaks.push(Peak { x: px, y: poly.eval(px) });
+        }
+        prev_x = x;
+        prev_d = d;
+    }
+    if poly.deriv(hi) > 0.0 {
+        peaks.push(Peak { x: hi, y: poly.eval(hi) });
+    }
+    peaks
+}
+
+/// The highest peak on `[lo, hi]`; falls back to the better endpoint for
+/// curves with no interior structure (e.g. constant fits).
+pub fn best_peak(poly: &Polynomial, lo: f64, hi: f64) -> Peak {
+    let peaks = find_peaks(poly, lo, hi);
+    let endpoint_best = {
+        let (ylo, yhi) = (poly.eval(lo), poly.eval(hi));
+        if yhi > ylo {
+            Peak { x: hi, y: yhi }
+        } else {
+            Peak { x: lo, y: ylo }
+        }
+    };
+    peaks
+        .into_iter()
+        .chain(std::iter::once(endpoint_best))
+        .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(core::cmp::Ordering::Equal))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polyfit::Polynomial;
+
+    fn fit(f: impl Fn(f64) -> f64, lo: f64, hi: f64, n: usize, degree: usize) -> Polynomial {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, f(x))
+            })
+            .collect();
+        Polynomial::fit(&pts, degree).unwrap()
+    }
+
+    #[test]
+    fn single_interior_peak() {
+        let p = fit(|x| 10.0 - (x - 16.0).powi(2) / 10.0, 0.0, 60.0, 40, 2);
+        let best = best_peak(&p, 0.0, 60.0);
+        assert!((best.x - 16.0).abs() < 0.1, "peak near 16, got {}", best.x);
+        assert!((best.y - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn multiple_peaks_highest_wins() {
+        // Quartic with peaks near x=±1.6: y = -(x²-3)² + bump favouring +.
+        let f = |x: f64| -(x * x - 3.0).powi(2) + x;
+        let p = fit(f, -3.0, 3.0, 60, 4);
+        let peaks = find_peaks(&p, -3.0, 3.0);
+        assert!(peaks.len() >= 2, "two interior maxima expected: {peaks:?}");
+        let best = best_peak(&p, -3.0, 3.0);
+        assert!(best.x > 0.0, "right peak is higher");
+    }
+
+    #[test]
+    fn monotonic_curves_pick_endpoints() {
+        let inc = fit(|x| 2.0 * x, 0.0, 10.0, 10, 1);
+        assert_eq!(best_peak(&inc, 0.0, 10.0).x, 10.0);
+        let dec = fit(|x| -2.0 * x, 0.0, 10.0, 10, 1);
+        assert_eq!(best_peak(&dec, 0.0, 10.0).x, 0.0);
+    }
+
+    #[test]
+    fn constant_curve_falls_back() {
+        let p = Polynomial::fit(&[(0.0, 5.0), (10.0, 5.0)], 0).unwrap();
+        let best = best_peak(&p, 0.0, 10.0);
+        assert_eq!(best.y, 5.0);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let p = Polynomial::fit(&[(0.0, 1.0), (1.0, 2.0)], 1).unwrap();
+        assert!(find_peaks(&p, 5.0, 5.0).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! The sampling planner (§3.5): "the system first randomly picks only 60%
+//! of nr_samples samples to explore the global parameter space and picks
+//! the remaining 40% samples near the parameters which have shown the
+//! highest scores for a localized search around the best points."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of the budget spent on global exploration.
+pub const GLOBAL_FRACTION: f64 = 0.6;
+/// Half-width of the localized search window, as a fraction of the range.
+pub const LOCAL_WINDOW_FRACTION: f64 = 0.1;
+
+/// Deterministic two-phase sample planner over a closed parameter range.
+#[derive(Debug)]
+pub struct Sampler {
+    lo: f64,
+    hi: f64,
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Planner over `[lo, hi]` with a deterministic seed.
+    pub fn new(lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(hi >= lo, "invalid range");
+        Self { lo, hi, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Split a total budget into `(global, local)` counts — 60 % / 40 %,
+    /// with at least one global sample.
+    pub fn split_budget(nr_samples: usize) -> (usize, usize) {
+        let global = ((nr_samples as f64 * GLOBAL_FRACTION).round() as usize)
+            .clamp(1.min(nr_samples), nr_samples);
+        (global, nr_samples - global)
+    }
+
+    /// Phase 1: `n` random points exploring the whole range. Draws are
+    /// stratified (one uniform draw per equal-width bin) so small budgets
+    /// cannot leave a whole flank of the parameter space unsampled — the
+    /// trend fit would otherwise extrapolate there unchecked.
+    pub fn plan_global(&mut self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let width = (self.hi - self.lo) / n as f64;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = self.lo + i as f64 * width;
+                let hi = lo + width;
+                if hi > lo {
+                    self.rng.random_range(lo..=hi)
+                } else {
+                    lo
+                }
+            })
+            .collect();
+        // Evaluate in a shuffled order (the paper's "randomly picks").
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.rng.random_range(0..=i));
+        }
+        xs
+    }
+
+    /// Phase 2: `n` points near `best` (within ±10 % of the range width,
+    /// clamped to the range).
+    pub fn plan_local(&mut self, best: f64, n: usize) -> Vec<f64> {
+        let w = (self.hi - self.lo) * LOCAL_WINDOW_FRACTION;
+        let lo = (best - w).max(self.lo);
+        let hi = (best + w).min(self.hi);
+        (0..n)
+            .map(|_| if hi > lo { self.rng.random_range(lo..=hi) } else { lo })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_split_is_60_40() {
+        assert_eq!(Sampler::split_budget(10), (6, 4)); // the paper's example
+        assert_eq!(Sampler::split_budget(5), (3, 2));
+        assert_eq!(Sampler::split_budget(1), (1, 0));
+        assert_eq!(Sampler::split_budget(0), (0, 0));
+    }
+
+    #[test]
+    fn global_samples_span_range() {
+        let mut s = Sampler::new(0.0, 60.0, 42);
+        let xs = s.plan_global(200);
+        assert_eq!(xs.len(), 200);
+        assert!(xs.iter().all(|&x| (0.0..=60.0).contains(&x)));
+        // With 200 draws, both halves must be hit.
+        assert!(xs.iter().any(|&x| x < 30.0));
+        assert!(xs.iter().any(|&x| x > 30.0));
+    }
+
+    #[test]
+    fn local_samples_cluster_near_best() {
+        let mut s = Sampler::new(0.0, 60.0, 7);
+        let xs = s.plan_local(17.0, 100);
+        assert!(xs.iter().all(|&x| (11.0..=23.0).contains(&x)), "±10% of 60 = ±6");
+    }
+
+    #[test]
+    fn local_clamps_at_range_edges() {
+        let mut s = Sampler::new(0.0, 60.0, 7);
+        let xs = s.plan_local(1.0, 50);
+        assert!(xs.iter().all(|&x| (0.0..=7.0).contains(&x)));
+        let xs = s.plan_local(60.0, 50);
+        assert!(xs.iter().all(|&x| (54.0..=60.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a: Vec<f64> = Sampler::new(0.0, 10.0, 5).plan_global(10);
+        let b: Vec<f64> = Sampler::new(0.0, 10.0, 5).plan_global(10);
+        assert_eq!(a, b);
+        let c: Vec<f64> = Sampler::new(0.0, 10.0, 6).plan_global(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let mut s = Sampler::new(5.0, 5.0, 1);
+        assert!(s.plan_global(3).iter().all(|&x| x == 5.0));
+        assert!(s.plan_local(5.0, 3).iter().all(|&x| x == 5.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! The six system configurations of the paper's evaluation (§4,
+//! "Workloads"): *baseline*, *rec*, *prec*, *thp*, *ethp* and *prcl*.
+
+use daos_mm::clock::{ms, sec, Ns};
+use daos_mm::swap::SwapConfig;
+use daos_mm::vma::ThpMode;
+use daos_monitor::MonitorAttrs;
+use daos_schemes::{parse_schemes, Quota, Scheme, Watermarks};
+
+/// Which monitoring primitive a configuration runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorKind {
+    /// Virtual address space of the workload (the paper's `rec`).
+    Vaddr,
+    /// Entire physical address space of the machine (`prec`).
+    Paddr,
+}
+
+/// A complete run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Configuration name as in the paper's plots.
+    pub name: String,
+    /// THP mode for the workload's mappings.
+    pub thp: ThpMode,
+    /// Whether the kernel's aggressive background promoter runs
+    /// (the Linux-original THP behaviour of the `thp` configuration).
+    pub khugepaged: bool,
+    /// Monitoring, if any.
+    pub monitor: Option<MonitorKind>,
+    /// Schemes for the engine (requires monitoring).
+    pub schemes: Vec<Scheme>,
+    /// Whether to keep the full aggregation record (Fig. 6 heatmaps).
+    pub record: bool,
+    /// Swap device.
+    pub swap: SwapConfig,
+    /// Monitoring attributes.
+    pub attrs: MonitorAttrs,
+    /// Per-scheme quotas: `(scheme index, quota)`.
+    pub quotas: Vec<(usize, Quota)>,
+    /// Per-scheme watermarks: `(scheme index, watermarks)`.
+    pub watermarks: Vec<(usize, Watermarks)>,
+}
+
+impl RunConfig {
+    fn base(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            thp: ThpMode::Never,
+            khugepaged: false,
+            monitor: None,
+            schemes: Vec::new(),
+            record: false,
+            swap: SwapConfig::paper_zram(),
+            attrs: MonitorAttrs::paper_defaults(),
+            quotas: Vec::new(),
+            watermarks: Vec::new(),
+        }
+    }
+
+    /// *baseline*: DAOS disabled, THP off, zram swap.
+    pub fn baseline() -> Self {
+        Self::base("baseline")
+    }
+
+    /// *rec*: baseline + virtual-address monitoring, recording the
+    /// workload's access pattern.
+    pub fn rec() -> Self {
+        Self { monitor: Some(MonitorKind::Vaddr), record: true, ..Self::base("rec") }
+    }
+
+    /// *prec*: baseline + physical-address monitoring of the whole guest.
+    pub fn prec() -> Self {
+        Self { monitor: Some(MonitorKind::Paddr), record: true, ..Self::base("prec") }
+    }
+
+    /// *thp*: Linux-original transparent huge pages (aggressive
+    /// promotion, no access awareness).
+    pub fn thp() -> Self {
+        Self { thp: ThpMode::Always, khugepaged: true, ..Self::base("thp") }
+    }
+
+    /// *ethp*: the paper's monitoring-based THP scheme — Listing 3
+    /// lines 2–3: promote regions with ≥ 5 access samples, demote ≥ 2 MiB
+    /// regions idle for ≥ 7 s.
+    pub fn ethp() -> Self {
+        let schemes = parse_schemes(
+            "min max 5 max min max hugepage\n\
+             2M max min min 7s max nohugepage",
+        )
+        .expect("static ethp schemes parse");
+        Self {
+            thp: ThpMode::Madvise,
+            monitor: Some(MonitorKind::Vaddr),
+            schemes,
+            ..Self::base("ethp")
+        }
+    }
+
+    /// *prcl*: the paper's monitoring-based proactive reclamation —
+    /// Listing 3 line 5: page out ≥ 4 KiB regions idle for ≥ 5 s.
+    pub fn prcl() -> Self {
+        Self::prcl_with_min_age(sec(5))
+    }
+
+    /// *prcl* with a custom idle-age threshold — the aggressiveness knob
+    /// the auto-tuner searches over (Figures 4, 5, 8).
+    pub fn prcl_with_min_age(min_age: Ns) -> Self {
+        let scheme = daos_schemes::parse_scheme_line("4K max min min 5s max pageout")
+            .expect("static prcl scheme parses");
+        let scheme = Scheme {
+            min_age: daos_schemes::Bound::Val(daos_schemes::AgeVal::Time(min_age)),
+            ..scheme
+        };
+        Self {
+            monitor: Some(MonitorKind::Vaddr),
+            schemes: vec![scheme],
+            ..Self::base("prcl")
+        }
+    }
+
+    /// DAMON_RECLAIM: what the prcl idea became as a shipping kernel
+    /// module — proactive reclamation with a bandwidth **quota** (so a
+    /// mistuned threshold cannot flood the swap device) and free-memory
+    /// **watermarks** (so it only runs under pressure and backs off
+    /// during emergencies).
+    pub fn damon_reclaim() -> Self {
+        let mut cfg = Self::prcl();
+        cfg.name = "damon_reclaim".into();
+        // 8 MiB per 500 ms reclaim bandwidth cap.
+        cfg.quotas.push((0, Quota { sz_limit: 8 << 20, reset_interval: ms(500) }));
+        cfg.watermarks.push((0, Watermarks::reclaim_defaults()));
+        cfg
+    }
+
+    /// All six paper configurations with default parameters, in Fig. 7's
+    /// order (baseline first).
+    pub fn paper_configs() -> Vec<RunConfig> {
+        vec![
+            Self::baseline(),
+            Self::rec(),
+            Self::prec(),
+            Self::thp(),
+            Self::ethp(),
+            Self::prcl(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_schemes::Action;
+
+    #[test]
+    fn six_paper_configs() {
+        let configs = RunConfig::paper_configs();
+        let names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["baseline", "rec", "prec", "thp", "ethp", "prcl"]);
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let c = RunConfig::baseline();
+        assert_eq!(c.thp, ThpMode::Never);
+        assert!(!c.khugepaged);
+        assert!(c.monitor.is_none());
+        assert!(c.schemes.is_empty());
+        assert!(matches!(c.swap, SwapConfig::Zram { .. }), "baseline uses zram (§4)");
+    }
+
+    #[test]
+    fn rec_vs_prec_targets() {
+        assert_eq!(RunConfig::rec().monitor, Some(MonitorKind::Vaddr));
+        assert_eq!(RunConfig::prec().monitor, Some(MonitorKind::Paddr));
+        assert!(RunConfig::rec().record);
+    }
+
+    #[test]
+    fn thp_is_aggressive_and_blind() {
+        let c = RunConfig::thp();
+        assert_eq!(c.thp, ThpMode::Always);
+        assert!(c.khugepaged);
+        assert!(c.monitor.is_none(), "no access awareness");
+    }
+
+    #[test]
+    fn ethp_has_promotion_and_demotion() {
+        let c = RunConfig::ethp();
+        assert_eq!(c.schemes.len(), 2);
+        assert_eq!(c.schemes[0].action, Action::Hugepage);
+        assert_eq!(c.schemes[1].action, Action::Nohugepage);
+        assert_eq!(c.thp, ThpMode::Madvise);
+        assert!(!c.khugepaged);
+    }
+
+    #[test]
+    fn damon_reclaim_has_quota_and_watermarks() {
+        let c = RunConfig::damon_reclaim();
+        assert_eq!(c.schemes.len(), 1);
+        assert_eq!(c.schemes[0].action, Action::Pageout);
+        assert_eq!(c.quotas.len(), 1);
+        assert_eq!(c.quotas[0].0, 0);
+        assert_eq!(c.watermarks.len(), 1);
+        assert!(c.watermarks[0].1.validate().is_ok());
+    }
+
+    #[test]
+    fn prcl_min_age_is_tunable() {
+        let c = RunConfig::prcl_with_min_age(sec(17));
+        assert_eq!(c.schemes.len(), 1);
+        assert_eq!(c.schemes[0].action, Action::Pageout);
+        assert_eq!(
+            c.schemes[0].min_age,
+            daos_schemes::Bound::Val(daos_schemes::AgeVal::Time(sec(17)))
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # daos — Data Access-aware Operating System (top-level API)
+//!
+//! The integration crate of the DAOS reproduction: it wires the
+//! [`daos_monitor`] Data Access Monitor, the [`daos_schemes`] Memory
+//! Management Schemes Engine and the [`daos_tuner`] Auto-tuning Runtime
+//! on top of the [`daos_mm`] simulated memory substrate, and provides:
+//!
+//! * the six evaluation configurations (baseline / rec / prec / thp /
+//!   ethp / prcl) as [`config::RunConfig`];
+//! * the experiment [`runner`] executing one workload under one
+//!   configuration on one machine profile;
+//! * Fig. 6-style access-pattern [`heatmap`]s;
+//! * the normalised performance / memory-efficiency / score [`metrics`]
+//!   of Figures 4, 7 and 8.
+//!
+//! ```no_run
+//! use daos::{run, Normalized, RunConfig};
+//! use daos_mm::MachineProfile;
+//! use daos_workloads::by_path;
+//!
+//! let machine = MachineProfile::i3_metal();
+//! let spec = by_path("parsec3/freqmine").unwrap();
+//! let base = run(&machine, &RunConfig::baseline(), &spec, 42).unwrap();
+//! let prcl = run(&machine, &RunConfig::prcl(), &spec, 42).unwrap();
+//! let n = Normalized::of(&base, &prcl);
+//! println!("memory saving: {:.1}%", n.memory_saving_pct());
+//! ```
+
+pub mod config;
+pub mod heatmap;
+pub mod metrics;
+pub mod multi;
+pub mod recordio;
+pub mod runner;
+
+pub use config::{MonitorKind, RunConfig};
+pub use heatmap::{biggest_active_span, Heatmap};
+pub use metrics::{score_inputs, score_vs_baseline, Normalized};
+pub use multi::{MultiMonitor, TargetAggregation};
+pub use recordio::{record_from_csv, record_to_csv, WssReport};
+pub use runner::{run, RunResult};

@@ -1,0 +1,59 @@
+//! # daos-repro — reproduction of "DAOS: Data Access-aware Operating System" (HPDC '22)
+//!
+//! This umbrella crate re-exports the whole reproduction stack:
+//!
+//! * [`mm`] — the simulated kernel memory-management substrate;
+//! * [`monitor`] — the Data Access Monitor (DAMON);
+//! * [`schemes`] — the Memory Management Schemes Engine (DAMOS);
+//! * [`tuner`] — the Auto-tuning Runtime;
+//! * [`workloads`] — the 24 Parsec3/Splash-2x analogs + serverless fleet;
+//! * [`daos`] — the integration layer (configs, runner, heatmaps, metrics).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use daos_repro::prelude::*;
+//!
+//! // Run freqmine under the paper's 1-line proactive-reclamation scheme
+//! // (shortened run + 1 s idle threshold to keep the doc test fast).
+//! let machine = MachineProfile::i3_metal();
+//! let spec = by_path("parsec3/freqmine").unwrap();
+//! let mut quick = spec; quick.nr_epochs = 3_000;
+//! let base = run(&machine, &RunConfig::baseline(), &quick, 42).unwrap();
+//! let prcl_cfg = RunConfig::prcl_with_min_age(daos_mm::clock::sec(1));
+//! let prcl = run(&machine, &prcl_cfg, &quick, 42).unwrap();
+//! let n = Normalized::of(&base, &prcl);
+//! assert!(n.memory_saving_pct() > 40.0);
+//! assert!(n.slowdown_pct() < 10.0);
+//! ```
+
+pub use daos;
+pub use daos_mm as mm;
+pub use daos_monitor as monitor;
+pub use daos_schemes as schemes;
+pub use daos_tuner as tuner;
+pub use daos_workloads as workloads;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use daos::{
+        biggest_active_span, run, score_vs_baseline, Heatmap, MonitorKind, Normalized,
+        RunConfig, RunResult,
+    };
+    pub use daos_mm::{
+        AccessBatch, AddrRange, MachineProfile, MemorySystem, SwapConfig, ThpMode,
+    };
+    pub use daos_monitor::{
+        MonitorAttrs, MonitorCtx, PaddrPrimitives, SyntheticPrimitives, SyntheticSpace,
+        VaddrPrimitives,
+    };
+    pub use daos_schemes::{
+        parse_scheme_line, parse_schemes, Action, Scheme, SchemeTarget, SchemesEngine,
+    };
+    pub use daos_tuner::{tune, classify, DefaultScore, ScoreFn, ScoreInputs, TunerConfig};
+    pub use daos_workloads::{
+        by_path, instantiate, paper_suite, FleetConfig, ServerlessFleet, Workload,
+        WorkloadSpec,
+    };
+}

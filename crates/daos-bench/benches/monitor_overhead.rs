@@ -1,97 +1,79 @@
 //! The paper's core overhead claim, as a microbenchmark: the cost of one
 //! monitoring tick is bounded by `max_nr_regions` *regardless of target
 //! size* (1 MiB … 4 GiB here), while a full per-page scan grows linearly.
+//!
+//! Runs under the in-tree `daos_util::bench` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use daos_mm::addr::{AddrRange, PAGE_SIZE};
 use daos_mm::clock::ms;
 use daos_monitor::{MonitorAttrs, MonitorCtx, SyntheticPrimitives, SyntheticSpace};
+use daos_util::bench::Harness;
 use std::hint::black_box;
 
 fn attrs() -> MonitorAttrs {
     MonitorAttrs::paper_defaults()
 }
 
-fn bench_tick_vs_target_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor_tick_vs_target_size");
-    group.sample_size(20);
+fn bench_tick_vs_target_size(h: &mut Harness) {
     for mib in [1u64, 64, 1024, 4096] {
         let range = AddrRange::new(0, mib << 20);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{mib}MiB")), &range, |b, range| {
-            let mut env = SyntheticSpace::new(vec![*range]);
-            env.touch_range(AddrRange::new(0, range.len() / 4));
-            let mut ctx = MonitorCtx::new(attrs(), SyntheticPrimitives, &env, 0, 42);
-            let mut sink = Vec::new();
-            let mut now = 0;
-            b.iter(|| {
-                now += attrs().sampling_interval;
-                ctx.step(&mut env, now, &mut sink);
-                sink.clear();
-                black_box(ctx.regions().len())
-            });
+        let mut env = SyntheticSpace::new(vec![range]);
+        env.touch_range(AddrRange::new(0, range.len() / 4));
+        let mut ctx = MonitorCtx::new(attrs(), SyntheticPrimitives, &env, 0, 42);
+        let mut sink = Vec::new();
+        let mut now = 0;
+        h.bench_iters(&format!("tick_vs_target_size/{mib}MiB"), 200, || {
+            now += attrs().sampling_interval;
+            ctx.step(&mut env, now, &mut sink);
+            sink.clear();
+            black_box(ctx.regions().len())
         });
     }
-    group.finish();
 }
 
-fn bench_full_scan_vs_target_size(c: &mut Criterion) {
+fn bench_full_scan_vs_target_size(h: &mut Harness) {
     // The comparison point: naive per-page accessed-bit scanning, whose
     // cost is what kept prior work (e.g. the proactive-reclamation
     // system's 2-minute minimum interval) from sampling frequently.
-    let mut group = c.benchmark_group("full_scan_vs_target_size");
-    group.sample_size(10);
     for mib in [1u64, 64, 256] {
         let range = AddrRange::new(0, mib << 20);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{mib}MiB")), &range, |b, range| {
-            let mut env = SyntheticSpace::new(vec![*range]);
-            env.touch_range(AddrRange::new(0, range.len() / 4));
-            b.iter(|| {
-                let mut young = 0u64;
-                let mut addr = range.start;
-                while addr < range.end {
-                    young += env.accessed.contains(&addr) as u64;
-                    addr += PAGE_SIZE;
-                }
-                black_box(young)
-            });
+        let mut env = SyntheticSpace::new(vec![range]);
+        env.touch_range(AddrRange::new(0, range.len() / 4));
+        h.bench(&format!("full_scan_vs_target_size/{mib}MiB"), || {
+            let mut young = 0u64;
+            let mut addr = range.start;
+            while addr < range.end {
+                young += env.accessed.contains(&addr) as u64;
+                addr += PAGE_SIZE;
+            }
+            black_box(young)
         });
     }
-    group.finish();
 }
 
-fn bench_aggregation_pass(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aggregation_pass");
-    group.sample_size(20);
+fn bench_aggregation_pass(h: &mut Harness) {
     for nr_regions in [100usize, 1000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(nr_regions),
-            &nr_regions,
-            |b, &nr| {
-                let a = MonitorAttrs { max_nr_regions: nr, ..attrs() };
-                let mut env = SyntheticSpace::new(vec![AddrRange::new(0, 1 << 30)]);
-                let mut ctx = MonitorCtx::new(a, SyntheticPrimitives, &env, 0, 42);
-                let mut sink = Vec::new();
-                let mut now = 0;
-                // Warm the region set up to its cap.
-                for _ in 0..40 {
-                    now += ms(5);
-                    ctx.step(&mut env, now, &mut sink);
-                }
-                b.iter(|| {
-                    now += ms(100); // every step crosses an aggregation
-                    ctx.step(&mut env, now, &mut sink);
-                    black_box(sink.drain(..).count())
-                });
-            },
-        );
+        let a = MonitorAttrs { max_nr_regions: nr_regions, ..attrs() };
+        let mut env = SyntheticSpace::new(vec![AddrRange::new(0, 1 << 30)]);
+        let mut ctx = MonitorCtx::new(a, SyntheticPrimitives, &env, 0, 42);
+        let mut sink = Vec::new();
+        let mut now = 0;
+        // Warm the region set up to its cap.
+        for _ in 0..40 {
+            now += ms(5);
+            ctx.step(&mut env, now, &mut sink);
+        }
+        h.bench_iters(&format!("aggregation_pass/{nr_regions}"), 100, || {
+            now += ms(100); // every step crosses an aggregation
+            ctx.step(&mut env, now, &mut sink);
+            black_box(sink.drain(..).count())
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tick_vs_target_size,
-    bench_full_scan_vs_target_size,
-    bench_aggregation_pass
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("monitor_overhead", 20);
+    bench_tick_vs_target_size(&mut h);
+    bench_full_scan_vs_target_size(&mut h);
+    bench_aggregation_pass(&mut h);
+}

@@ -1,34 +1,31 @@
 //! Schemes-engine and tuner component costs: DSL parsing, region
 //! matching, polynomial fitting and peak search.
+//!
+//! Runs under the in-tree `daos_util::bench` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use daos_mm::addr::AddrRange;
 use daos_mm::clock::ms;
 use daos_monitor::{Aggregation, RegionInfo};
 use daos_schemes::{parse_scheme_line, parse_schemes, Scheme};
 use daos_tuner::{best_peak, paper_degree, Polynomial};
+use daos_util::bench::Harness;
 use std::hint::black_box;
 
-fn bench_parser(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheme_parser");
-    group.bench_function("parse_listing3", |b| {
-        let text = "min max 5 max min max hugepage\n\
-                    2M max min min 7s max nohugepage\n\
-                    4K max min min 5s max pageout\n";
-        b.iter(|| black_box(parse_schemes(black_box(text)).unwrap()));
+fn bench_parser(h: &mut Harness) {
+    let text = "min max 5 max min max hugepage\n\
+                2M max min min 7s max nohugepage\n\
+                4K max min min 5s max pageout\n";
+    h.bench("scheme_parser/parse_listing3", || {
+        black_box(parse_schemes(black_box(text)).unwrap())
     });
-    group.bench_function("roundtrip_one_line", |b| {
-        let line = "2M max 80% max 1m max hugepage";
-        b.iter(|| {
-            let s = parse_scheme_line(black_box(line)).unwrap();
-            black_box(s.to_string())
-        });
+    let line = "2M max 80% max 1m max hugepage";
+    h.bench("scheme_parser/roundtrip_one_line", || {
+        let s = parse_scheme_line(black_box(line)).unwrap();
+        black_box(s.to_string())
     });
-    group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheme_matching");
+fn bench_matching(h: &mut Harness) {
     let agg = Aggregation {
         at: 0,
         regions: (0..1000)
@@ -42,36 +39,35 @@ fn bench_matching(c: &mut Criterion) {
         aggregation_interval: ms(100),
     };
     let scheme: Scheme = parse_scheme_line("4K max min min 5s max pageout").unwrap();
-    group.bench_function("match_1000_regions", |b| {
-        b.iter(|| {
-            black_box(
-                agg.regions
-                    .iter()
-                    .filter(|r| scheme.matches(r, &agg))
-                    .count(),
-            )
-        });
+    h.bench("scheme_matching/match_1000_regions", || {
+        black_box(
+            agg.regions
+                .iter()
+                .filter(|r| scheme.matches(r, &agg))
+                .count(),
+        )
     });
-    group.finish();
 }
 
-fn bench_polyfit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tuner");
+fn bench_polyfit(h: &mut Harness) {
     let samples: Vec<(f64, f64)> = (0..10)
         .map(|i| {
             let x = i as f64 * 6.0;
             (x, 25.0 - (x - 16.0).powi(2) / 30.0)
         })
         .collect();
-    group.bench_function("polyfit_10_samples_deg3", |b| {
-        b.iter(|| black_box(Polynomial::fit(black_box(&samples), paper_degree(10)).unwrap()));
+    h.bench("tuner/polyfit_10_samples_deg3", || {
+        black_box(Polynomial::fit(black_box(&samples), paper_degree(10)).unwrap())
     });
     let poly = Polynomial::fit(&samples, 3).unwrap();
-    group.bench_function("peak_search", |b| {
-        b.iter(|| black_box(best_peak(black_box(&poly), 0.0, 60.0)));
+    h.bench("tuner/peak_search", || {
+        black_box(best_peak(black_box(&poly), 0.0, 60.0))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_parser, bench_matching, bench_polyfit);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("schemes_tuner", 20);
+    bench_parser(&mut h);
+    bench_matching(&mut h);
+    bench_polyfit(&mut h);
+}

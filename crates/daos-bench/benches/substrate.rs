@@ -1,12 +1,14 @@
 //! Substrate hot paths: the resident-touch fast path, the fault path,
 //! and DAMOS pageout throughput.
+//!
+//! Runs under the in-tree `daos_util::bench` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use daos_mm::access::AccessBatch;
 use daos_mm::machine::MachineProfile;
 use daos_mm::swap::SwapConfig;
 use daos_mm::system::MemorySystem;
 use daos_mm::vma::ThpMode;
+use daos_util::bench::Harness;
 use std::hint::black_box;
 
 const REGION: u64 = 16 << 20; // 4096 pages
@@ -20,47 +22,45 @@ fn fresh_system() -> (MemorySystem, u32, daos_mm::addr::AddrRange) {
     (sys, pid, range)
 }
 
-fn bench_resident_touch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("apply_access");
-    group.throughput(Throughput::Elements(REGION / 4096));
-    group.sample_size(30);
-    group.bench_function("resident_touch_all", |b| {
+fn bench_resident_touch(h: &mut Harness) {
+    {
         let (mut sys, pid, range) = fresh_system();
         sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
-        b.iter(|| black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap()));
-    });
-    group.bench_function("random_touch_256", |b| {
-        let (mut sys, pid, range) = fresh_system();
-        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
-        b.iter(|| black_box(sys.apply_access(pid, &AccessBatch::random(range, 256, 1.0)).unwrap()));
-    });
-    group.finish();
-}
-
-fn bench_fault_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("faults");
-    group.sample_size(20);
-    group.bench_function("minor_fault_region", |b| {
-        b.iter_with_setup(fresh_system, |(mut sys, pid, range)| {
+        h.bench("apply_access/resident_touch_all", || {
             black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
         });
-    });
-    group.bench_function("pageout_then_major_fault_region", |b| {
-        b.iter_with_setup(
-            || {
-                let (mut sys, pid, range) = fresh_system();
-                sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
-                sys.pageout(pid, range).unwrap(); // reference pass
-                sys.pageout(pid, range).unwrap(); // eviction
-                (sys, pid, range)
-            },
-            |(mut sys, pid, range)| {
-                black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
-            },
-        );
-    });
-    group.finish();
+    }
+    {
+        let (mut sys, pid, range) = fresh_system();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        h.bench("apply_access/random_touch_256", || {
+            black_box(sys.apply_access(pid, &AccessBatch::random(range, 256, 1.0)).unwrap())
+        });
+    }
 }
 
-criterion_group!(benches, bench_resident_touch, bench_fault_paths);
-criterion_main!(benches);
+fn bench_fault_paths(h: &mut Harness) {
+    h.bench_setup("faults/minor_fault_region", 10, fresh_system, |(mut sys, pid, range)| {
+        black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
+    });
+    h.bench_setup(
+        "faults/pageout_then_major_fault_region",
+        10,
+        || {
+            let (mut sys, pid, range) = fresh_system();
+            sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+            sys.pageout(pid, range).unwrap(); // reference pass
+            sys.pageout(pid, range).unwrap(); // eviction
+            (sys, pid, range)
+        },
+        |(mut sys, pid, range)| {
+            black_box(sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap())
+        },
+    );
+}
+
+fn main() {
+    let mut h = Harness::new("substrate", 20);
+    bench_resident_touch(&mut h);
+    bench_fault_paths(&mut h);
+}

@@ -6,8 +6,7 @@
 use daos_bench::report::{mean, write_artifact, Table};
 use daos_mm::clock::sec;
 use daos_tuner::{tune, Polynomial, ScorePattern, TunerConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use daos_util::rng::SmallRng;
 
 const BUDGET: u64 = 10;
 const NOISE: f64 = 2.0;

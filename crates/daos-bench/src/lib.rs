@@ -1,7 +1,8 @@
 //! # daos-bench — the paper's evaluation harness
 //!
 //! One binary per table and figure of the paper (see DESIGN.md §3 for
-//! the experiment index), plus criterion micro-benchmarks:
+//! the experiment index), plus in-tree micro-benchmarks
+//! (`daos_util::bench`):
 //!
 //! | Binary | Reproduces |
 //! |---|---|

@@ -4,7 +4,6 @@
 //! pages, with 2 MiB huge-page alignment where THP is involved. Address
 //! ranges are half-open `[start, end)`, matching the kernel's convention.
 
-use serde::{Deserialize, Serialize};
 
 /// Size of a base page in bytes (4 KiB).
 pub const PAGE_SIZE: u64 = 4096;
@@ -44,7 +43,7 @@ pub const fn huge_align_up(addr: u64) -> u64 {
 /// This is the unit the monitor, the schemes engine and the substrate all
 /// exchange; it corresponds to `struct damon_addr_range` in the upstream
 /// kernel implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     /// Inclusive start address.
     pub start: u64,
@@ -246,3 +245,6 @@ mod tests {
         assert!(!r.contains_range(&AddrRange::new(150, 201)));
     }
 }
+
+
+daos_util::json_struct!(AddrRange { start, end });

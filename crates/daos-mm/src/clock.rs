@@ -5,7 +5,6 @@
 //! scheme `age` thresholds and the tuner's time budget all use this clock,
 //! so experiments are deterministic and much faster than wall time.
 
-use serde::{Deserialize, Serialize};
 
 /// Nanoseconds of virtual time.
 pub type Ns = u64;
@@ -32,7 +31,7 @@ pub const fn sec(v: u64) -> Ns {
 }
 
 /// A monotonically advancing virtual clock.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Clock {
     now: Ns,
 }
@@ -110,3 +109,6 @@ mod tests {
         assert_eq!(format_ns(1_500_000_000), "1500ms");
     }
 }
+
+
+daos_util::json_struct!(Clock { now });

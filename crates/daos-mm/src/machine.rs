@@ -14,7 +14,6 @@
 //! host's memory; our workload footprints are scaled down by the same
 //! factor), preserving all capacity *ratios*.
 
-use serde::{Deserialize, Serialize};
 
 use crate::clock::Ns;
 
@@ -29,7 +28,7 @@ const GIB: u64 = 1 << 30;
 /// relative magnitudes (DRAM ≪ zram ≪ file swap) match published device
 /// numbers the paper cites (storage about one order of magnitude slower
 /// than DRAM for fast devices).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineProfile {
     /// Human-readable instance name, e.g. `"i3.metal"`.
     pub name: String,
@@ -213,3 +212,12 @@ mod tests {
         assert!(m.tlb_coverage_2m() > m.tlb_coverage_4k());
     }
 }
+
+
+daos_util::json_struct!(MachineProfile {
+    name, cpu_ghz, nr_cpus, dram_bytes, dram_latency_ns, tlb_entries_4k,
+    tlb_entries_2m, tlb_miss_penalty_ns, minor_fault_ns,
+    major_fault_extra_ns, zram_store_ns, zram_load_ns, file_swap_write_ns,
+    file_swap_read_ns, pageout_page_ns, huge_alloc_ns, access_check_ns,
+    rmap_check_factor, monitor_interference,
+});

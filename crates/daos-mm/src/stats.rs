@@ -1,11 +1,10 @@
 //! Per-process and system-wide accounting.
 
-use serde::{Deserialize, Serialize};
 
 use crate::clock::Ns;
 
 /// Counters accumulated for one process over its lifetime.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProcStats {
     /// Anonymous minor faults (first touch of a page).
     pub minor_faults: u64,
@@ -51,7 +50,7 @@ impl ProcStats {
 }
 
 /// Kernel-side (not charged to any process) accounting.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct KernelStats {
     /// CPU time spent in the access monitor (sampling + aggregation), ns.
     pub monitor_ns: Ns,
@@ -93,3 +92,14 @@ mod tests {
         assert_eq!(s.avg_rss_bytes(0), 0);
     }
 }
+
+
+daos_util::json_struct!(ProcStats {
+    minor_faults, major_faults, swapouts, swapins, compute_ns, access_ns,
+    stall_ns, monitor_interference_ns, peak_rss_bytes, rss_time_integral,
+    thp_promotions, thp_demotions,
+});
+daos_util::json_struct!(KernelStats {
+    monitor_ns, schemes_ns, reclaim_ns, swap_write_ns, pressure_reclaims,
+    damos_pageouts,
+});

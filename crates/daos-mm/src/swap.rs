@@ -11,7 +11,6 @@
 //! * **None** — pageout requests fail, pages stay resident (Fig. 9's
 //!   "No Swap" bar).
 
-use serde::{Deserialize, Serialize};
 
 use crate::addr::PAGE_SIZE;
 use crate::clock::Ns;
@@ -23,7 +22,7 @@ use crate::machine::MachineProfile;
 pub struct SwapSlot(pub u64);
 
 /// Which swap backend to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SwapConfig {
     /// No swap device: reclaim to swap is impossible.
     None,
@@ -224,5 +223,47 @@ mod tests {
         // than NVMe reads on every paper machine.
         assert!(zram.load(zs, &m) < file.load(fs, &m));
         let _ = (zlat, flat);
+    }
+}
+
+
+use daos_util::json::{self, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for SwapConfig {
+    fn to_json(&self) -> Json {
+        match self {
+            SwapConfig::None => Json::Str("None".into()),
+            SwapConfig::Zram { capacity_bytes, compression_ratio } => json::tagged(
+                "Zram",
+                Json::Object(vec![
+                    ("capacity_bytes".into(), capacity_bytes.to_json()),
+                    ("compression_ratio".into(), compression_ratio.to_json()),
+                ]),
+            ),
+            SwapConfig::File { capacity_bytes } => json::tagged(
+                "File",
+                Json::Object(vec![("capacity_bytes".into(), capacity_bytes.to_json())]),
+            ),
+        }
+    }
+}
+
+impl FromJson for SwapConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            return match s.as_str() {
+                "None" => Ok(SwapConfig::None),
+                other => Err(JsonError::msg(format!("unknown SwapConfig '{other}'"))),
+            };
+        }
+        let (tag, payload) = json::untag(v)?;
+        match tag {
+            "Zram" => Ok(SwapConfig::Zram {
+                capacity_bytes: payload.field("capacity_bytes")?,
+                compression_ratio: payload.field("compression_ratio")?,
+            }),
+            "File" => Ok(SwapConfig::File { capacity_bytes: payload.field("capacity_bytes")? }),
+            other => Err(JsonError::msg(format!("unknown SwapConfig '{other}'"))),
+        }
     }
 }

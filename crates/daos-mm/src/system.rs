@@ -5,8 +5,7 @@
 //! clears PTE accessed bits through it; the schemes engine applies memory
 //! operations (pageout, THP promotion/demotion, ...) through it.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use daos_util::rng::SmallRng;
 
 use crate::access::{AccessBatch, AccessOutcome, TouchPattern};
 use crate::addr::{AddrRange, HUGE_PAGE_SIZE, PAGE_SIZE};

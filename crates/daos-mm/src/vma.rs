@@ -5,7 +5,6 @@
 //! the hardware feature the paper's monitoring primitives read and clear
 //! (§3.1: "accessed bits in page table entries").
 
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{
     huge_align_down, huge_align_up, AddrRange, HUGE_PAGE_SIZE, PAGE_SHIFT, PAGE_SIZE,
@@ -49,7 +48,7 @@ impl Pte {
 
 /// Per-VMA transparent-huge-page policy, mirroring
 /// `MADV_HUGEPAGE`/`MADV_NOHUGEPAGE` plus the system-wide "always" mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThpMode {
     /// Huge pages are never used for this VMA.
     Never,
@@ -268,3 +267,6 @@ mod tests {
         assert_eq!(addrs, vec![mb(4), mb(4) + PAGE_SIZE, mb(4) + 2 * PAGE_SIZE]);
     }
 }
+
+
+daos_util::json_enum!(ThpMode { Never, Always, Madvise });

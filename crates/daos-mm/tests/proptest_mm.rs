@@ -11,7 +11,8 @@ use daos_mm::machine::MachineProfile;
 use daos_mm::swap::SwapConfig;
 use daos_mm::system::MemorySystem;
 use daos_mm::vma::ThpMode;
-use proptest::prelude::*;
+use daos_util::prop::{btree_set_of, vec_of, Just, Strategy, StrategyExt};
+use daos_util::{one_of, prop_assert_eq, proptest};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -26,7 +27,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
+    one_of![
         Just(Op::TouchAll),
         (1u32..200).prop_map(Op::TouchRandom),
         (1u32..16).prop_map(Op::TouchStride),
@@ -56,10 +57,9 @@ fn check_conservation(sys: &MemorySystem, pid: u32, range: AddrRange) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    cases = 64;
 
-    #[test]
-    fn page_state_conservation(ops in prop::collection::vec(op_strategy(), 1..40), seed in 0u64..1000) {
+    fn page_state_conservation(ops in vec_of(op_strategy(), 1..40), seed in 0u64..1000) {
         let mut machine = MachineProfile::test_tiny();
         machine.dram_bytes = 32 << 20;
         let mut sys = MemorySystem::new(machine, SwapConfig::paper_zram(), seed);
@@ -109,7 +109,6 @@ proptest! {
         prop_assert_eq!(sys.swap().used_bytes(), 0);
     }
 
-    #[test]
     fn pageout_then_touch_restores_exact_pages(
         prefix_pages in 1u64..512,
         seed in 0u64..100,
@@ -135,8 +134,7 @@ proptest! {
         prop_assert_eq!(sys.rss_bytes(pid), range.len());
     }
 
-    #[test]
-    fn accessed_bits_reflect_touches(pages in prop::collection::btree_set(0u64..256, 1..64)) {
+    fn accessed_bits_reflect_touches(pages in btree_set_of(0u64..256, 1..64)) {
         let mut sys = MemorySystem::new(
             MachineProfile::test_tiny(),
             SwapConfig::paper_zram(),

@@ -1,13 +1,12 @@
 //! Monitoring attributes (the paper's §3.1 knobs).
 
 use daos_mm::clock::{ms, sec, Ns};
-use serde::{Deserialize, Serialize};
 
 /// The five user-set monitoring parameters.
 ///
 /// The paper's evaluation uses 5 ms sampling, 100 ms aggregation, 1 s
 /// regions update, and a 10..1000 regions range (§4, "Workloads").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonitorAttrs {
     /// Interval between access checks of each region's sample page.
     pub sampling_interval: Ns,
@@ -122,3 +121,9 @@ mod tests {
         assert_eq!(a.merge_threshold(), 1);
     }
 }
+
+
+daos_util::json_struct!(MonitorAttrs {
+    sampling_interval, aggregation_interval, regions_update_interval,
+    min_nr_regions, max_nr_regions, adaptive,
+});

@@ -2,8 +2,7 @@
 
 use daos_mm::addr::{page_align_down, PAGE_SIZE};
 use daos_mm::clock::Ns;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use daos_util::rng::SmallRng;
 
 use crate::attrs::MonitorAttrs;
 use crate::overhead::OverheadStats;

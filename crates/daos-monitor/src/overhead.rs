@@ -6,10 +6,9 @@
 //! suite and the Fig. 7 harness verify that bound and report CPU usage.
 
 use daos_mm::clock::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative overhead counters for one monitoring context.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct OverheadStats {
     /// Total access-check operations (mkold + young) performed.
     pub total_checks: u64,
@@ -62,3 +61,8 @@ mod tests {
         assert_eq!(OverheadStats::default().cpu_share(0), 0.0);
     }
 }
+
+
+daos_util::json_struct!(OverheadStats {
+    total_checks, max_checks_per_tick, nr_ticks, nr_aggregations, work_ns,
+});

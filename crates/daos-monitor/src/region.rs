@@ -1,7 +1,6 @@
 //! A monitoring region: the unit of the paper's space-based sampling.
 
 use daos_mm::addr::{AddrRange, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// One monitored region: adjacent pages assumed to share an access
 /// frequency, with its access counter and age.
@@ -86,7 +85,7 @@ impl Region {
 }
 
 /// Immutable per-region view handed to callbacks/schemes at aggregation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionInfo {
     /// Region address range.
     pub range: AddrRange,
@@ -156,3 +155,6 @@ mod tests {
         assert!(region(0, 0x2000, 0, 0).splittable());
     }
 }
+
+
+daos_util::json_struct!(RegionInfo { range, nr_accesses, age });

@@ -3,8 +3,7 @@
 //! folded in, as in the kernel), and target-range updates.
 
 use daos_mm::addr::{page_align_down, AddrRange, PAGE_SIZE};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use daos_util::rng::SmallRng;
 
 use crate::region::{Region, RegionInfo};
 
@@ -206,7 +205,6 @@ impl RegionSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn mb(n: u64) -> u64 {
         n << 20

@@ -3,12 +3,11 @@
 
 use daos_mm::addr::AddrRange;
 use daos_mm::clock::Ns;
-use serde::{Deserialize, Serialize};
 
 use crate::region::RegionInfo;
 
 /// One aggregation window's monitoring result.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Aggregation {
     /// Virtual time the window closed.
     pub at: Ns,
@@ -52,7 +51,7 @@ impl Aggregation {
 
 /// A log of aggregations, as produced by the paper's `rec`/`prec`
 /// configurations and consumed by the Fig. 6 heatmap renderer.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MonitorRecord {
     /// All aggregation windows, in time order.
     pub aggregations: Vec<Aggregation>,
@@ -151,3 +150,9 @@ mod tests {
         assert_eq!(a.freq_ratio(&a.regions[0]), 0.0);
     }
 }
+
+
+daos_util::json_struct!(Aggregation {
+    at, regions, max_nr_accesses, aggregation_interval,
+});
+daos_util::json_struct!(MonitorRecord { aggregations });

@@ -4,13 +4,13 @@
 use daos_mm::addr::{AddrRange, PAGE_SIZE};
 use daos_mm::clock::ms;
 use daos_monitor::{MonitorAttrs, MonitorCtx, RegionSet, SyntheticPrimitives, SyntheticSpace};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use daos_util::prop::{vec_of, Strategy, StrategyExt, TestCaseError};
+use daos_util::rng::SmallRng;
+use daos_util::{prop_assert, prop_assert_eq, proptest};
 
 fn arb_ranges() -> impl Strategy<Value = Vec<AddrRange>> {
     // 1..4 disjoint page-aligned ranges of 1..2048 pages.
-    prop::collection::vec((0u64..1000, 1u64..2048), 1..4).prop_map(|specs| {
+    vec_of((0u64..1000, 1u64..2048), 1..4).prop_map(|specs| {
         let mut start = 0u64;
         let mut out = Vec::new();
         for (gap, pages) in specs {
@@ -24,9 +24,8 @@ fn arb_ranges() -> impl Strategy<Value = Vec<AddrRange>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    cases = 48;
 
-    #[test]
     fn split_merge_cycles_conserve(
         ranges in arb_ranges(),
         seed in 0u64..500,
@@ -49,7 +48,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn nr_accesses_bounded_by_samples_per_window(
         seed in 0u64..200,
         hot_pages in 1u64..512,
@@ -86,7 +84,6 @@ proptest! {
         prop_assert!(ctx.overhead.max_checks_per_tick <= 2 * attrs.max_nr_regions as u64);
     }
 
-    #[test]
     fn update_ranges_covers_new_target_exactly(
         ranges in arb_ranges(),
         new_ranges in arb_ranges(),

@@ -1,6 +1,5 @@
 //! Scheme actions (Table 1 of the paper).
 
-use serde::{Deserialize, Serialize};
 
 /// The memory operation a scheme triggers on matching regions.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// | `NOHUGEPAGE` | THP-demote the region. |
 /// | `PAGEOUT` | Immediately page the region out. |
 /// | `STAT` | Only count regions/bytes fulfilling the conditions (working-set estimation, scheme tuning). |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Prefetch the region (swap it back in proactively).
     Willneed,
@@ -156,3 +155,8 @@ mod tests {
         assert_eq!(Action::from_keyword("lru_deprio"), Some(Action::LruDeprio));
     }
 }
+
+
+daos_util::json_enum!(Action {
+    Willneed, Cold, Hugepage, Nohugepage, Pageout, Stat, LruPrio, LruDeprio,
+});

@@ -6,10 +6,9 @@
 //! latency-critical arena), or confine an aggressive scheme to one area.
 
 use daos_mm::addr::AddrRange;
-use serde::{Deserialize, Serialize};
 
 /// Whether matching the filter allows or rejects the action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterMode {
     /// The action may only touch bytes inside the filter range.
     Allow,
@@ -18,7 +17,7 @@ pub enum FilterMode {
 }
 
 /// One address filter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddrFilter {
     /// The filtered range.
     pub range: AddrRange,
@@ -123,3 +122,7 @@ mod tests {
         assert_eq!(out, vec![r(60, 100)]);
     }
 }
+
+
+daos_util::json_enum!(FilterMode { Allow, Reject });
+daos_util::json_struct!(AddrFilter { range, mode });

@@ -9,12 +9,11 @@
 
 use daos_mm::clock::Ns;
 use daos_monitor::{Aggregation, RegionInfo};
-use serde::{Deserialize, Serialize};
 
 use crate::action::Action;
 
 /// A byte budget per reset interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Quota {
     /// Maximum bytes the scheme may affect per interval.
     pub sz_limit: u64,
@@ -128,3 +127,6 @@ mod tests {
         assert_eq!(v[0].range.start, 0, "hot first for promotion");
     }
 }
+
+
+daos_util::json_struct!(Quota { sz_limit, reset_interval });

@@ -6,12 +6,11 @@
 
 use daos_mm::clock::{format_ns, Ns};
 use daos_monitor::{Aggregation, RegionInfo};
-use serde::{Deserialize, Serialize};
 
 use crate::action::Action;
 
 /// A condition bound: an explicit value or the `min`/`max` wildcard.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Bound<T> {
     /// No lower constraint (`min` in the DSL).
     Unbounded,
@@ -31,7 +30,7 @@ impl<T> Bound<T> {
 
 /// Access-frequency values can be given as a percentage of the maximum
 /// possible access count (`80%`) or as a raw sample count (`5`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FreqVal {
     /// Percent of `max_nr_accesses` (0–100).
     Percent(f64),
@@ -52,7 +51,7 @@ impl FreqVal {
 
 /// Region ages can be given in aggregation intervals (`7`) or wall time
 /// (`5s`, `2m`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AgeVal {
     /// Raw age counter (aggregation intervals).
     Intervals(u32),
@@ -71,7 +70,7 @@ impl AgeVal {
 }
 
 /// One memory management scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scheme {
     /// Minimum region size in bytes (`Unbounded` = no minimum).
     pub min_sz: Bound<u64>,
@@ -312,3 +311,75 @@ mod tests {
         assert_eq!(s.to_string(), "2M max 80% max 1m max pageout");
     }
 }
+
+
+use daos_util::json::{self, FromJson, Json, JsonError, ToJson};
+
+impl<T: ToJson> ToJson for Bound<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Bound::Unbounded => Json::Str("Unbounded".into()),
+            Bound::Val(v) => json::tagged("Val", v.to_json()),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Bound<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            return match s.as_str() {
+                "Unbounded" => Ok(Bound::Unbounded),
+                other => Err(JsonError::msg(format!("unknown Bound '{other}'"))),
+            };
+        }
+        let (tag, payload) = json::untag(v)?;
+        match tag {
+            "Val" => Ok(Bound::Val(T::from_json(payload)?)),
+            other => Err(JsonError::msg(format!("unknown Bound '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for FreqVal {
+    fn to_json(&self) -> Json {
+        match self {
+            FreqVal::Percent(p) => json::tagged("Percent", p.to_json()),
+            FreqVal::Samples(s) => json::tagged("Samples", s.to_json()),
+        }
+    }
+}
+
+impl FromJson for FreqVal {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        match tag {
+            "Percent" => Ok(FreqVal::Percent(f64::from_json(payload)?)),
+            "Samples" => Ok(FreqVal::Samples(u32::from_json(payload)?)),
+            other => Err(JsonError::msg(format!("unknown FreqVal '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for AgeVal {
+    fn to_json(&self) -> Json {
+        match self {
+            AgeVal::Intervals(n) => json::tagged("Intervals", n.to_json()),
+            AgeVal::Time(ns) => json::tagged("Time", ns.to_json()),
+        }
+    }
+}
+
+impl FromJson for AgeVal {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = json::untag(v)?;
+        match tag {
+            "Intervals" => Ok(AgeVal::Intervals(u32::from_json(payload)?)),
+            "Time" => Ok(AgeVal::Time(FromJson::from_json(payload)?)),
+            other => Err(JsonError::msg(format!("unknown AgeVal '{other}'"))),
+        }
+    }
+}
+
+daos_util::json_struct!(Scheme {
+    min_sz, max_sz, min_freq, max_freq, min_age, max_age, action,
+});

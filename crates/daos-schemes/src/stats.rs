@@ -1,10 +1,9 @@
 //! Per-scheme statistics, as exposed by the kernel implementation
 //! (`nr_tried`/`sz_tried`/`nr_applied`/`sz_applied`).
 
-use serde::{Deserialize, Serialize};
 
 /// Counters for one scheme's activity.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SchemeStats {
     /// Regions that fulfilled the scheme's conditions.
     pub nr_tried: u64,
@@ -48,3 +47,8 @@ mod tests {
         assert_eq!(s.sz_applied, 4096);
     }
 }
+
+
+daos_util::json_struct!(SchemeStats {
+    nr_tried, sz_tried, nr_applied, sz_applied, nr_quota_skips,
+});

@@ -8,17 +8,16 @@
 //! way entirely below a *low* watermark (where direct reclaim is already
 //! fighting for survival and kdamond would only add noise).
 
-use serde::{Deserialize, Serialize};
 
 /// Metric a watermark band is measured against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WatermarkMetric {
     /// Free physical memory as permille (0–1000) of total DRAM.
     FreeMemPermille,
 }
 
 /// A watermark band. All values are permille of the metric's range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Watermarks {
     /// Which metric the band applies to.
     pub metric: WatermarkMetric,
@@ -143,3 +142,7 @@ mod tests {
         assert_eq!(free_mem_permille(&sys), 500);
     }
 }
+
+
+daos_util::json_enum!(WatermarkMetric { FreeMemPermille });
+daos_util::json_struct!(Watermarks { metric, high, mid, low });

@@ -6,14 +6,15 @@ use daos_monitor::{Aggregation, RegionInfo};
 use daos_schemes::{
     apply_filters, parse_scheme_line, Action, AddrFilter, AgeVal, Bound, FreqVal, Scheme,
 };
-use proptest::prelude::*;
+use daos_util::prop::{any_bool, select, vec_of, Just, Strategy, StrategyExt, TestCaseError};
+use daos_util::{one_of, prop_assert, prop_assert_eq, proptest};
 
 fn arb_action() -> impl Strategy<Value = Action> {
-    prop::sample::select(Action::all().to_vec())
+    select(Action::all().to_vec())
 }
 
 fn arb_sz_bound() -> impl Strategy<Value = Bound<u64>> {
-    prop_oneof![
+    one_of![
         Just(Bound::Unbounded),
         // Keep magnitudes printable-roundtrippable (B/K/M/G units).
         (0u64..u64::MAX / 2).prop_map(Bound::Val),
@@ -21,7 +22,7 @@ fn arb_sz_bound() -> impl Strategy<Value = Bound<u64>> {
 }
 
 fn arb_freq_bound() -> impl Strategy<Value = Bound<FreqVal>> {
-    prop_oneof![
+    one_of![
         Just(Bound::Unbounded),
         (0u32..1000).prop_map(|s| Bound::Val(FreqVal::Samples(s))),
         (0u32..=100).prop_map(|p| Bound::Val(FreqVal::Percent(p as f64))),
@@ -29,7 +30,7 @@ fn arb_freq_bound() -> impl Strategy<Value = Bound<FreqVal>> {
 }
 
 fn arb_age_bound() -> impl Strategy<Value = Bound<AgeVal>> {
-    prop_oneof![
+    one_of![
         Just(Bound::Unbounded),
         (0u32..100_000).prop_map(|i| Bound::Val(AgeVal::Intervals(i))),
         // Whole seconds/minutes so Display units stay exact.
@@ -67,11 +68,10 @@ fn agg() -> Aggregation {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    cases = 256;
 
     /// display → parse is the identity for every representable scheme
     /// whose size bounds fall on unit boundaries.
-    #[test]
     fn display_parse_roundtrip(mut s in arb_scheme()) {
         // Sizes print in B/K/M/G units; snap to an exactly-printable value.
         let snap = |b: Bound<u64>| match b {
@@ -88,7 +88,6 @@ proptest! {
 
     /// Matching is monotone: growing a region's age can never turn a
     /// max-age-unbounded match into a non-match, and vice versa for size.
-    #[test]
     fn matching_monotone_in_age(nr in 0u32..=20, age in 0u32..1000, min_age in 0u32..1000) {
         let s = Scheme::any(Action::Stat).age(Some(AgeVal::Intervals(min_age)), None);
         let a = agg();
@@ -98,7 +97,6 @@ proptest! {
     }
 
     /// An inverted interval (min > max) matches nothing.
-    #[test]
     fn inverted_bounds_match_nothing(lo in 1u32..100, width in 1u32..100, probe in 0u32..300) {
         let s = Scheme::any(Action::Stat)
             .freq(Some(FreqVal::Samples(lo + width)), Some(FreqVal::Samples(lo - 1)));
@@ -107,10 +105,9 @@ proptest! {
 
     /// Filter chains never emit bytes outside the candidate, never
     /// overlap, and allow-filters only shrink coverage.
-    #[test]
     fn filter_outputs_are_sound(
         cand_pages in 1u64..256,
-        specs in prop::collection::vec((0u64..256, 1u64..128, prop::bool::ANY), 0..5),
+        specs in vec_of((0u64..256, 1u64..128, any_bool()), 0..5),
     ) {
         let candidate = AddrRange::new(0x10000, 0x10000 + cand_pages * 4096);
         let filters: Vec<AddrFilter> = specs

@@ -14,12 +14,11 @@
 //! above). This module generates canonical curves for each pattern and
 //! classifies measured curves into them.
 
-use serde::{Deserialize, Serialize};
 
 use crate::polyfit::Polynomial;
 
 /// One of the six Fig. 3 score patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScorePattern {
     /// 1: monotonically increasing with aggressiveness.
     Increasing,
@@ -213,3 +212,9 @@ mod tests {
         assert_eq!(idx, vec![1, 2, 3, 4, 5, 6]);
     }
 }
+
+
+daos_util::json_enum!(ScorePattern {
+    Increasing, RiseFallAbove, RiseFallBelow, Decreasing, FallRiseBelow,
+    FallRiseAbove,
+});

@@ -6,10 +6,9 @@
 //! [-1, 1] (for conditioning), solved by Gaussian elimination with
 //! partial pivoting.
 
-use serde::{Deserialize, Serialize};
 
 /// A fitted polynomial over a normalised domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polynomial {
     /// Coefficients in the *normalised* variable `t`, lowest degree first.
     coeffs: Vec<f64>,
@@ -219,3 +218,6 @@ mod tests {
         assert_eq!(paper_degree(100), 8, "capped for stability");
     }
 }
+
+
+daos_util::json_struct!(Polynomial { coeffs, x_mid, x_half });

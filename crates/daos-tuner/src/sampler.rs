@@ -3,8 +3,7 @@
 //! the remaining 40% samples near the parameters which have shown the
 //! highest scores for a localized search around the best points."
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use daos_util::rng::SmallRng;
 
 /// Fraction of the budget spent on global exploration.
 pub const GLOBAL_FRACTION: f64 = 0.6;

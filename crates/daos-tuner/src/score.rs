@@ -6,10 +6,9 @@
 //! seen so far. Scores are reported ×100 (percent points), matching the
 //! 5–45 ranges plotted in Figures 4, 5 and 8.
 
-use serde::{Deserialize, Serialize};
 
 /// Raw measurements of one sample run plus the no-action baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoreInputs {
     /// Runtime of the tuned run (any consistent unit).
     pub runtime: f64,
@@ -176,3 +175,6 @@ mod tests {
         assert_eq!(f.score(&inputs(500.0, 25.0)), 75.0);
     }
 }
+
+
+daos_util::json_struct!(ScoreInputs { runtime, orig_runtime, rss, orig_rss });

@@ -11,14 +11,13 @@
 //! 5. returns the highest peak of the fitted curve.
 
 use daos_mm::clock::Ns;
-use serde::{Deserialize, Serialize};
 
 use crate::peaks::{best_peak, Peak};
 use crate::polyfit::{paper_degree, Polynomial};
 use crate::sampler::Sampler;
 
 /// Tuner configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TunerConfig {
     /// Total tuning time budget (virtual time).
     pub time_limit: Ns,
@@ -199,3 +198,6 @@ mod tests {
         assert_eq!(a.best_x, b.best_x);
     }
 }
+
+
+daos_util::json_struct!(TunerConfig { time_limit, unit_work_time, range, seed });

@@ -1,16 +1,16 @@
 //! Property tests for the tuner's numerical components.
 
 use daos_tuner::{best_peak, paper_degree, DefaultScore, Polynomial, ScoreFn, ScoreInputs};
-use proptest::prelude::*;
+use daos_util::prop::{btree_set_of, vec_of, TestCaseError};
+use daos_util::{prop_assert, proptest};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    cases = 128;
 
     /// A full-degree fit interpolates its (distinct-x) samples.
-    #[test]
     fn full_degree_fit_interpolates(
-        mut xs in prop::collection::btree_set(-50i32..50, 2..6),
-        ys in prop::collection::vec(-100i32..100, 6),
+        xs in btree_set_of(-50i32..50, 2..6),
+        ys in vec_of(-100i32..100, 6),
     ) {
         let pts: Vec<(f64, f64)> = xs
             .iter()
@@ -22,13 +22,11 @@ proptest! {
         for &(x, y) in &pts {
             prop_assert!((poly.eval(x) - y).abs() < 1e-5, "p({x}) = {} vs {y}", poly.eval(x));
         }
-        xs.clear();
     }
 
     /// The derivative is consistent with finite differences.
-    #[test]
     fn derivative_matches_finite_difference(
-        coeff_seed in prop::collection::vec(-5.0f64..5.0, 3..6),
+        coeff_seed in vec_of(-5.0f64..5.0, 3..6),
         x in -10.0f64..10.0,
     ) {
         let pts: Vec<(f64, f64)> = (0..12)
@@ -51,9 +49,8 @@ proptest! {
 
     /// best_peak returns a point inside the interval whose value is at
     /// least the curve's value at 64 probe points (within tolerance).
-    #[test]
     fn best_peak_is_global_max_on_interval(
-        ys in prop::collection::vec(-50i32..50, 6),
+        ys in vec_of(-50i32..50, 6),
         lo in -20.0f64..0.0,
         width in 1.0f64..40.0,
     ) {
@@ -76,7 +73,6 @@ proptest! {
     }
 
     /// paper_degree stays within sane bounds for any budget.
-    #[test]
     fn paper_degree_bounds(n in 0usize..10_000) {
         let d = paper_degree(n);
         prop_assert!((1..=8).contains(&d));
@@ -87,9 +83,8 @@ proptest! {
 
     /// Listing-2 invariants: SLA-compliant scores are the weighted sum;
     /// violating scores never exceed the best compliant score seen.
-    #[test]
     fn listing2_violations_never_beat_history(
-        runs in prop::collection::vec((50.0f64..300.0, 1.0f64..200.0), 1..20),
+        runs in vec_of((50.0f64..300.0, 1.0f64..200.0), 1..20),
     ) {
         let mut f = DefaultScore::default();
         let mut best_compliant = f64::NEG_INFINITY;

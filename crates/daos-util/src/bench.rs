@@ -1,0 +1,181 @@
+//! A minimal wall-clock timing harness — the in-tree replacement for
+//! criterion in the `daos-bench` bench binaries.
+//!
+//! Each benchmark runs a warm-up pass, then `samples` timed samples of
+//! `iters` iterations each, and reports the **median** ns/iteration
+//! (medians are robust to scheduler noise in a way means are not), plus
+//! min/max for a spread estimate.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary, all in ns/iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Median over the samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample actually used.
+    pub iters: u64,
+}
+
+impl Timing {
+    /// `"  123.4 ns/iter (min 120.0, max 130.9, 1000 iters × N)"`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:>12.1} ns/iter (min {:.1}, max {:.1}, {} iters/sample)",
+            self.median_ns, self.min_ns, self.max_ns, self.iters
+        )
+    }
+}
+
+/// A named group of benchmarks, printed as it runs.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    /// Target wall time per sample, used to auto-size iteration counts.
+    target_sample_ns: u64,
+    results: Vec<(String, Timing)>,
+}
+
+impl Harness {
+    /// New harness printing under `group`, `samples` timed samples per
+    /// benchmark (median-of-`samples`).
+    pub fn new(group: &str, samples: usize) -> Self {
+        assert!(samples >= 1);
+        println!("# bench group: {group}");
+        Self {
+            group: group.to_string(),
+            samples,
+            target_sample_ns: 20_000_000, // 20 ms per sample
+            results: Vec::new(),
+        }
+    }
+
+    /// Lower the per-sample wall-time target (for expensive setups).
+    pub fn target_sample_ms(mut self, ms: u64) -> Self {
+        self.target_sample_ns = ms * 1_000_000;
+        self
+    }
+
+    /// Time `f`, auto-sizing the per-sample iteration count so one
+    /// sample takes roughly the wall-time target.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Timing {
+        // Warm-up + calibration: time a single iteration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let iters = (self.target_sample_ns / once_ns).clamp(1, 1_000_000);
+        self.bench_iters(name, iters, f)
+    }
+
+    /// Time `f` with an explicit per-sample iteration count (for
+    /// stateful benchmarks where iterations are not interchangeable).
+    pub fn bench_iters<R>(
+        &mut self,
+        name: &str,
+        iters: u64,
+        mut f: impl FnMut() -> R,
+    ) -> Timing {
+        assert!(iters >= 1);
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let timing = Timing {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            iters,
+        };
+        println!("{}/{name}: {}", self.group, timing.render());
+        self.results.push((name.to_string(), timing));
+        timing
+    }
+
+    /// Time `f` with a fresh untimed `setup` value per iteration (for
+    /// benchmarks that consume their input, e.g. first-fault paths).
+    /// Each iteration is timed individually and only `f` is counted.
+    pub fn bench_setup<S, R>(
+        &mut self,
+        name: &str,
+        iters: u64,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) -> Timing {
+        assert!(iters >= 1);
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let mut total_ns = 0u128;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(f(input));
+                    total_ns += t.elapsed().as_nanos();
+                }
+                total_ns as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let timing = Timing {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            iters,
+        };
+        println!("{}/{name}: {}", self.group, timing.render());
+        self.results.push((name.to_string(), timing));
+        timing
+    }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[(String, Timing)] {
+        &self.results
+    }
+
+    /// Render results as a CSV artifact (`name,median_ns,min_ns,max_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,median_ns,min_ns,max_ns,iters\n");
+        for (name, t) in &self.results {
+            out.push_str(&format!(
+                "{name},{:.1},{:.1},{:.1},{}\n",
+                t.median_ns, t.min_ns, t.max_ns, t.iters
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_and_ordered() {
+        let mut h = Harness::new("test", 5).target_sample_ms(1);
+        let t = h.bench_iters("noop_sum", 1000, || {
+            (0..100u64).sum::<u64>()
+        });
+        assert!(t.min_ns <= t.median_ns && t.median_ns <= t.max_ns);
+        assert_eq!(h.results().len(), 1);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("name,median_ns"));
+        assert!(csv.contains("noop_sum"));
+    }
+
+    #[test]
+    fn auto_sizing_runs() {
+        let mut h = Harness::new("test", 3).target_sample_ms(1);
+        let t = h.bench("tiny", || black_box(1 + 1));
+        assert!(t.iters >= 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Deterministic pseudo-random number generation: xoshiro256++ seeded
+//! via SplitMix64.
+//!
+//! # Stream stability guarantee
+//!
+//! Every figure and experiment in this repository is regenerated from
+//! seeded simulations, so the exact `u64` stream produced for a given
+//! seed is part of the repository's *interface*: results recorded in
+//! `results/` must be bit-identical across machines, architectures and
+//! future PRs. Concretely:
+//!
+//! * [`SmallRng::seed_from_u64`] expands the seed with the reference
+//!   SplitMix64 sequence (four draws) into the xoshiro256++ state.
+//! * [`SmallRng::next_u64`] is the reference xoshiro256++ algorithm
+//!   (Blackman & Vigna, <https://prng.di.unimi.it/>).
+//! * The derived draws ([`SmallRng::random`], [`SmallRng::random_range`],
+//!   [`SmallRng::random_bool`], the `sample_*` helpers) each consume a
+//!   documented, fixed number of `next_u64` outputs and map them with
+//!   the fixed formulas below.
+//!
+//! Changing any of these mappings is a breaking change to every recorded
+//! experiment and must regenerate `results/`. The known-answer tests in
+//! `crates/daos-util/tests/rng_determinism.rs` pin the streams.
+
+/// The reference SplitMix64 step: advances `state` and returns the next
+/// output. Used for seed expansion so that similar seeds (0, 1, 2, …)
+/// still yield well-decorrelated xoshiro states.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic generator: xoshiro256++.
+///
+/// The name keeps the `rand::rngs::SmallRng` spelling the simulation
+/// code was written against, but unlike `rand`'s `SmallRng` (whose
+/// algorithm is explicitly unspecified and has changed between
+/// releases), this one is pinned forever — see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Seed via four SplitMix64 draws (the reference seeding procedure).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+
+    /// Derive an independent child generator from `parent` (one
+    /// `next_u64` draw feeds a fresh SplitMix64 expansion).
+    pub fn from_rng(parent: &mut SmallRng) -> Self {
+        Self::seed_from_u64(parent.next_u64())
+    }
+
+    /// The reference xoshiro256++ step.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// High 32 bits of one `next_u64` draw.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw of type `T` (one `next_u64` consumed):
+    /// `f64` in `[0, 1)` with 53 bits, `f32` in `[0, 1)` with 24 bits,
+    /// integers over their full range, `bool` from the top bit.
+    #[inline]
+    pub fn random<T: FromU64>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform draw from an integer or float range
+    /// (`lo..hi` or `lo..=hi`). Integer draws use 128-bit widening
+    /// multiplication with rejection (Lemire), so they are unbiased;
+    /// float draws map one 53-bit unit draw affinely onto the interval.
+    ///
+    /// Panics on an empty range.
+    #[inline]
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (one draw; `p` clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    #[inline]
+    pub fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above 1");
+        (self.random_range(0..denominator as u64) as u32) < numerator
+    }
+
+    /// A uniform index into a collection of length `len`.
+    ///
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn sample_index(&mut self, len: usize) -> usize {
+        self.random_range(0..len)
+    }
+
+    /// An index drawn proportionally to non-negative `weights`.
+    ///
+    /// Panics if `weights` is empty or sums to a non-finite or
+    /// non-positive total.
+    pub fn sample_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "empty weight list");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive finite total"
+        );
+        let mut x = self.random::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle (consumes `len - 1` draws).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.random_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Types producible from one uniform `u64` draw ([`SmallRng::random`]).
+pub trait FromU64 {
+    /// Map one uniform 64-bit draw onto `Self`.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl FromU64 for u64 {
+    #[inline]
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl FromU64 for u32 {
+    #[inline]
+    fn from_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromU64 for bool {
+    #[inline]
+    fn from_u64(bits: u64) -> bool {
+        (bits >> 63) != 0
+    }
+}
+
+impl FromU64 for f64 {
+    /// Top 53 bits scaled by 2⁻⁵³ — uniform in `[0, 1)`.
+    #[inline]
+    fn from_u64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromU64 for f32 {
+    /// Top 24 bits scaled by 2⁻²⁴ — uniform in `[0, 1)`.
+    #[inline]
+    fn from_u64(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`SmallRng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+/// Unbiased draw from `[0, bound)` via Lemire's widening-multiply
+/// method with rejection.
+#[inline]
+fn lemire_u64(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Reject draws falling in the short final stripe so every residue
+    // class is equally likely.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(lemire_u64(rng, span + 1) as $t)
+            }
+        }
+    )+};
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + rng.random::<f64>() * (self.end - self.start);
+        // Affine rounding can land exactly on `end`; fold it back.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let x = lo + rng.random::<f64>() * (hi - lo);
+        x.clamp(lo, hi)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + rng.random::<f32>() * (self.end - self.start);
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::RangeInclusive<f32> {
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let x = lo + rng.random::<f32>() * (hi - lo);
+        x.clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_expansion_matches_reference() {
+        // State words for seed 0, per the reference SplitMix64.
+        let rng = SmallRng::seed_from_u64(0);
+        assert_eq!(
+            rng.s,
+            [
+                16294208416658607535,
+                7960286522194355700,
+                487617019471545679,
+                17909611376780542444
+            ]
+        );
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.random_range(5u32..5);
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.sample_weighted(&[1.0, 0.0, 9.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5, "{counts:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "seed 11 must actually permute");
+    }
+}

@@ -16,8 +16,7 @@ use daos_mm::error::MmResult;
 use daos_mm::process::Pid;
 use daos_mm::system::MemorySystem;
 use daos_mm::vma::ThpMode;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use daos_util::rng::SmallRng;
 
 /// Fleet configuration.
 #[derive(Debug, Clone, Copy)]

@@ -5,10 +5,9 @@
 use daos_mm::addr::AddrRange;
 use daos_mm::clock::Ns;
 use daos_monitor::MonitorRecord;
-use serde::{Deserialize, Serialize};
 
 /// A rasterised heatmap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Heatmap {
     /// Number of time bins (columns).
     pub nr_cols: usize,
@@ -252,3 +251,8 @@ mod tests {
         assert!(span.len() >= 64 << 20);
     }
 }
+
+
+daos_util::json_struct!(Heatmap {
+    nr_cols, nr_rows, time_span, addr_span, cells,
+});

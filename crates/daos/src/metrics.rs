@@ -1,12 +1,11 @@
 //! Normalised metrics, as plotted in Figures 7 and 8.
 
 use daos_tuner::{DefaultScore, ScoreFn, ScoreInputs};
-use serde::{Deserialize, Serialize};
 
 use crate::runner::RunResult;
 
 /// A run's metrics normalised against the baseline run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Normalized {
     /// `baseline_runtime / runtime` — above 1.0 means faster (Fig. 7's
     /// "Performance" axis).
@@ -112,3 +111,6 @@ mod tests {
         assert!(s > 20.0 && s < 26.0, "score {s}");
     }
 }
+
+
+daos_util::json_struct!(Normalized { performance, memory_efficiency });

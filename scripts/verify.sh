@@ -1,0 +1,47 @@
+#!/bin/sh
+# Tier-1 verification: hermetic offline build + full test suite, plus a
+# guard that no Cargo.toml reintroduces a registry (non-path) dependency.
+#
+# The workspace must build from a clean clone with no network and an
+# empty registry cache; every dependency is an in-tree path dependency
+# (see README "Zero-dependency policy").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== guard: no registry dependencies in any Cargo.toml =="
+# Inside [dependencies]/[dev-dependencies]/[build-dependencies] (or the
+# workspace.dependencies table), every entry must be `X.workspace = true`
+# or an inline table containing `path = ...`. Version strings and
+# `version = ...` keys are what this guard rejects.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    bad=$(awk '
+        /^\[/ {
+            indeps = ($0 ~ /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\]/)
+            next
+        }
+        indeps && NF && $0 !~ /^[[:space:]]*#/ {
+            if ($0 !~ /workspace[[:space:]]*=[[:space:]]*true/ && $0 !~ /path[[:space:]]*=/)
+                print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "registry dependency found:"
+        echo "$bad"
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || { echo "FAIL: non-path dependencies present"; exit 1; }
+echo "ok"
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline test suite (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== offline bench binaries compile =="
+cargo bench --offline --no-run
+
+echo "verify: OK"

@@ -53,7 +53,7 @@ fn bench_full_scan_vs_target_size(h: &mut Harness) {
 
 fn bench_aggregation_pass(h: &mut Harness) {
     for nr_regions in [100usize, 1000] {
-        let a = MonitorAttrs { max_nr_regions: nr_regions, ..attrs() };
+        let a = MonitorAttrs::builder().max_nr_regions(nr_regions).build().unwrap();
         let mut env = SyntheticSpace::new(vec![AddrRange::new(0, 1 << 30)]);
         let mut ctx = MonitorCtx::new(a, SyntheticPrimitives, &env, 0, 42);
         let mut sink = Vec::new();
@@ -72,7 +72,7 @@ fn bench_aggregation_pass(h: &mut Harness) {
 }
 
 fn main() {
-    let mut h = Harness::new("monitor_overhead", 20);
+    let mut h = Harness::new("monitor_overhead", 20).progress_to(Box::new(std::io::stdout()));
     bench_tick_vs_target_size(&mut h);
     bench_full_scan_vs_target_size(&mut h);
     bench_aggregation_pass(&mut h);

@@ -66,7 +66,7 @@ fn bench_polyfit(h: &mut Harness) {
 }
 
 fn main() {
-    let mut h = Harness::new("schemes_tuner", 20);
+    let mut h = Harness::new("schemes_tuner", 20).progress_to(Box::new(std::io::stdout()));
     bench_parser(&mut h);
     bench_matching(&mut h);
     bench_polyfit(&mut h);

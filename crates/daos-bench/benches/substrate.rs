@@ -60,7 +60,7 @@ fn bench_fault_paths(h: &mut Harness) {
 }
 
 fn main() {
-    let mut h = Harness::new("substrate", 20);
+    let mut h = Harness::new("substrate", 20).progress_to(Box::new(std::io::stdout()));
     bench_resident_touch(&mut h);
     bench_fault_paths(&mut h);
 }

@@ -22,17 +22,18 @@ struct Outcome {
 }
 
 fn run_monitor(nr_regions: usize, adaptive: bool, seed: u64) -> Outcome {
-    let attrs = MonitorAttrs {
-        sampling_interval: ms(5),
-        aggregation_interval: ms(100),
-        regions_update_interval: sec(1),
+    let attrs = MonitorAttrs::builder()
+        .sampling_interval(ms(5))
+        .aggregation_interval(ms(100))
+        .regions_update_interval(sec(1))
         // Static mode uses a fixed grid of `nr_regions`; adaptive mode
         // may shrink below it (merging) but never exceed it, so the
         // overhead budget is identical.
-        min_nr_regions: if adaptive { 10.min(nr_regions) } else { nr_regions },
-        max_nr_regions: nr_regions,
-        adaptive,
-    };
+        .min_nr_regions(if adaptive { 10.min(nr_regions) } else { nr_regions })
+        .max_nr_regions(nr_regions)
+        .adaptive(adaptive)
+        .build()
+        .unwrap();
     let mut env = SyntheticSpace::new(vec![AddrRange::new(0, TARGET)]);
     let mut ctx = MonitorCtx::new(attrs, SyntheticPrimitives, &env, 0, seed);
     let mut sink = Vec::new();
@@ -108,5 +109,5 @@ fn main() {
          where the pattern demands.",
         TARGET / HOT
     );
-    write_artifact("ablation_adaptive.csv", &table.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("ablation_adaptive.csv", &table.to_csv()).unwrap().display());
 }

@@ -126,5 +126,5 @@ fn main() {
          the sampled hull. The paper's randomized plan buys robustness on landscapes\n\
          whose structure is unknown a priori, not efficiency on smooth ones."
     );
-    write_artifact("ablation_tuner.csv", &table.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("ablation_tuner.csv", &table.to_csv()).unwrap().display());
 }

@@ -35,11 +35,18 @@ fn main() {
         // DAMON_RECLAIM: same threshold + quota + watermarks.
         let mut dr = RunConfig::prcl_with_min_age(ms(500));
         dr.name = "damon_reclaim".into();
-        dr.quotas.push((0, Quota { sz_limit: 4 << 20, reset_interval: ms(500) }));
-        dr.watermarks.push((
-            0,
-            Watermarks { metric: WatermarkMetric::FreeMemPermille, high: 500, mid: 400, low: 50 },
-        ));
+        let scheme = dr.schemes.remove(0).scheme;
+        dr.schemes = vec![scheme
+            .configure()
+            .quota(Quota { sz_limit: 4 << 20, reset_interval: ms(500) })
+            .watermarks(Watermarks {
+                metric: WatermarkMetric::FreeMemPermille,
+                high: 500,
+                mid: 400,
+                low: 50,
+            })
+            .build()
+            .unwrap()];
         let r_dr = run(&machine, &dr, &spec, 42).unwrap();
 
         for (r, cfg_name) in [(&r_prcl, "prcl(0.5s)"), (&r_dr, "damon_reclaim")] {
@@ -66,5 +73,5 @@ fn main() {
          watermarks keep the scheme inactive when free memory is plentiful — the two\n\
          guardrails that made the paper's prcl deployable as DAMON_RECLAIM."
     );
-    write_artifact("ext_damon_reclaim.csv", &table.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("ext_damon_reclaim.csv", &table.to_csv()).unwrap().display());
 }

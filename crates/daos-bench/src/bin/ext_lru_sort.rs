@@ -108,5 +108,5 @@ fn main() {
          every epoch).",
         majors_plain.max(1) / majors_sorted.max(1)
     );
-    write_artifact("ext_lru_sort.csv", &table.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("ext_lru_sort.csv", &table.to_csv()).unwrap().display());
 }

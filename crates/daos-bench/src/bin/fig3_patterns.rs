@@ -59,6 +59,6 @@ fn main() {
         "\ndistinct patterns observed: {:?} (paper: all 6 appear across workloads x machines)",
         seen
     );
-    write_artifact("fig3_canonical.csv", &canon.to_csv()).unwrap();
-    write_artifact("fig3_measured.csv", &measured.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig3_canonical.csv", &canon.to_csv()).unwrap().display());
+    println!("[artifact] {}", write_artifact("fig3_measured.csv", &measured.to_csv()).unwrap().display());
 }

@@ -70,6 +70,6 @@ fn main() {
 
     println!("Conclusion-1 check: every curve falls into one of the 6 patterns.\n");
     print!("{}", patterns.render());
-    write_artifact("fig4_scores.csv", &csv.to_csv()).unwrap();
-    write_artifact("fig4_patterns.csv", &patterns.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig4_scores.csv", &csv.to_csv()).unwrap().display());
+    println!("[artifact] {}", write_artifact("fig4_patterns.csv", &patterns.to_csv()).unwrap().display());
 }

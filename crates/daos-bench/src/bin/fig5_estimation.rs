@@ -78,6 +78,6 @@ fn main() {
         result.samples.len()
     );
 
-    write_artifact("fig5_curves.csv", &csv.to_csv()).unwrap();
-    write_artifact("fig5_samples.csv", &samples.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig5_curves.csv", &csv.to_csv()).unwrap().display());
+    println!("[artifact] {}", write_artifact("fig5_samples.csv", &samples.to_csv()).unwrap().display());
 }

@@ -40,6 +40,6 @@ fn main() {
             all_csv.push_str(&format!("{},{}\n", spec.path_name(), line));
         }
     }
-    write_artifact("fig6_heatmaps.csv", &all_csv).unwrap();
+    println!("[artifact] {}", write_artifact("fig6_heatmaps.csv", &all_csv).unwrap().display());
     println!("Conclusion-2: hot regions and dynamic pattern changes are visible per workload.");
 }

@@ -138,5 +138,5 @@ fn main() {
         prcl_avg_saving, prcl_avg_slowdown, prcl_worst
     );
 
-    write_artifact("fig7_overhead_benefit.csv", &csv.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig7_overhead_benefit.csv", &csv.to_csv()).unwrap().display());
 }

@@ -150,5 +150,5 @@ fn main() {
             format!("{:.2}", r.tuned_min_age),
         ]);
     }
-    write_artifact("fig8_autotune.csv", &csv.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig8_autotune.csv", &csv.to_csv()).unwrap().display());
 }

@@ -132,5 +132,5 @@ fn main() {
          and negligible request slowdown.\nThe file backend saves more than zram because \
          compressed zram pages still occupy DRAM."
     );
-    write_artifact("fig9_production.csv", &csv.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("fig9_production.csv", &csv.to_csv()).unwrap().display());
 }

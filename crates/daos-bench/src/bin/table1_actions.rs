@@ -97,5 +97,5 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    write_artifact("table1_actions.csv", &table.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("table1_actions.csv", &table.to_csv()).unwrap().display());
 }

@@ -40,5 +40,5 @@ fn main() {
         ]);
     }
     print!("{}", detail.render());
-    write_artifact("table2_machines.csv", &detail.to_csv()).unwrap();
+    println!("[artifact] {}", write_artifact("table2_machines.csv", &detail.to_csv()).unwrap().display());
 }

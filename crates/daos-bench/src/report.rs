@@ -104,12 +104,13 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Write an artifact file under the results directory; prints the path.
+/// Write an artifact file under the results directory, returning its
+/// path. Silent: the calling binary announces the path (library code
+/// never prints — see the guard in scripts/verify.sh).
 pub fn write_artifact(name: &str, content: &str) -> std::io::Result<PathBuf> {
     let path = results_dir().join(name);
     let mut f = fs::File::create(&path)?;
     f.write_all(content.as_bytes())?;
-    println!("[artifact] {}", path.display());
     Ok(path)
 }
 

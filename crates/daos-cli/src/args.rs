@@ -3,6 +3,8 @@
 
 use std::collections::BTreeMap;
 
+use daos::DaosError;
+
 /// Parsed command-line arguments.
 #[derive(Debug, Default, Clone)]
 pub struct Args {
@@ -14,12 +16,12 @@ pub struct Args {
 /// Option keys that take a value (everything else is a boolean flag).
 const VALUE_OPTIONS: &[&str] = &[
     "machine", "out", "seed", "rows", "cols", "schemes-file", "scheme", "range", "samples",
-    "swap", "min-age", "duration",
+    "swap", "min-age", "duration", "config", "ring", "epochs",
 ];
 
 impl Args {
     /// Parse raw arguments (without the program/subcommand names).
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, DaosError> {
         let mut args = Args::default();
         let mut it = raw.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -27,7 +29,7 @@ impl Args {
                 if VALUE_OPTIONS.contains(&key) {
                     let v = it
                         .next()
-                        .ok_or_else(|| format!("option --{key} needs a value"))?;
+                        .ok_or_else(|| DaosError::usage(format!("option --{key} needs a value")))?;
                     args.options.insert(key.to_string(), v);
                 } else {
                     args.flags.push(key.to_string());
@@ -50,10 +52,12 @@ impl Args {
     }
 
     /// A parsed numeric option with default.
-    pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, DaosError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| DaosError::usage(format!("bad value for --{key}: '{v}'"))),
         }
     }
 
@@ -63,17 +67,17 @@ impl Args {
     }
 
     /// The machine profile selected by `--machine` (default i3.metal).
-    pub fn machine(&self) -> Result<daos_mm::MachineProfile, String> {
+    pub fn machine(&self) -> Result<daos_mm::MachineProfile, DaosError> {
         match self.opt("machine").unwrap_or("i3") {
             "i3" | "i3.metal" => Ok(daos_mm::MachineProfile::i3_metal()),
             "m5d" | "m5d.metal" => Ok(daos_mm::MachineProfile::m5d_metal()),
             "z1d" | "z1d.metal" => Ok(daos_mm::MachineProfile::z1d_metal()),
-            other => Err(format!("unknown machine '{other}' (i3 | m5d | z1d)")),
+            other => Err(DaosError::usage(format!("unknown machine '{other}' (i3 | m5d | z1d)"))),
         }
     }
 
     /// The deterministic seed (`--seed`, default 42).
-    pub fn seed(&self) -> Result<u64, String> {
+    pub fn seed(&self) -> Result<u64, DaosError> {
         self.opt_num("seed", 42)
     }
 }

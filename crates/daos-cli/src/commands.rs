@@ -4,7 +4,7 @@ use std::fs;
 
 use daos::{
     biggest_active_span, record_from_csv, record_to_csv, run, score_inputs,
-    score_vs_baseline, Heatmap, Normalized, RunConfig, WssReport,
+    score_vs_baseline, DaosError, Heatmap, Normalized, RunConfig, WssReport,
 };
 use daos_mm::clock::{sec, SEC};
 use daos_mm::{MemorySystem, SwapConfig};
@@ -15,13 +15,34 @@ use daos_workloads::{by_path, paper_suite, FleetConfig, ServerlessFleet};
 
 use crate::args::Args;
 
-fn lookup(args: &Args) -> Result<daos_workloads::WorkloadSpec, String> {
-    let name = args.pos(0).ok_or("missing workload argument (see `daos list`)")?;
-    by_path(name).ok_or_else(|| format!("unknown workload '{name}' (see `daos list`)"))
+fn lookup(args: &Args) -> Result<daos_workloads::WorkloadSpec, DaosError> {
+    let name = args
+        .pos(0)
+        .ok_or_else(|| DaosError::usage("missing workload argument (see `daos list`)"))?;
+    by_path(name)
+        .ok_or_else(|| DaosError::usage(format!("unknown workload '{name}' (see `daos list`)")))
+}
+
+/// One of the paper's named configurations, by plot name.
+fn named_config(name: &str) -> Result<RunConfig, DaosError> {
+    Ok(match name {
+        "baseline" => RunConfig::baseline(),
+        "rec" => RunConfig::rec(),
+        "prec" => RunConfig::prec(),
+        "thp" => RunConfig::thp(),
+        "ethp" => RunConfig::ethp(),
+        "prcl" => RunConfig::prcl(),
+        "damon_reclaim" => RunConfig::damon_reclaim(),
+        other => {
+            return Err(DaosError::usage(format!(
+                "unknown config '{other}' (baseline | rec | prec | thp | ethp | prcl | damon_reclaim)"
+            )))
+        }
+    })
 }
 
 /// `daos list`
-pub fn list() -> Result<(), String> {
+pub fn list() -> Result<(), DaosError> {
     println!("{:<26} {:>9} {:>10}  behaviour", "workload", "footprint", "epochs");
     for spec in paper_suite() {
         println!(
@@ -36,7 +57,7 @@ pub fn list() -> Result<(), String> {
 }
 
 /// `daos record <workload>`
-pub fn record(args: &Args) -> Result<(), String> {
+pub fn record(args: &Args) -> Result<(), DaosError> {
     let spec = lookup(args)?;
     let machine = args.machine()?;
     let config = if args.flag("paddr") { RunConfig::prec() } else { RunConfig::rec() };
@@ -46,10 +67,10 @@ pub fn record(args: &Args) -> Result<(), String> {
         machine.name,
         if args.flag("paddr") { "physical-address" } else { "virtual-address" }
     );
-    let result = run(&machine, &config, &spec, args.seed()?).map_err(|e| e.to_string())?;
+    let result = run(&machine, &config, &spec, args.seed()?)?;
     let record = result.record.as_ref().expect("recording config");
     let out = args.opt("out").unwrap_or("daos.record.csv");
-    fs::write(out, record_to_csv(record)).map_err(|e| e.to_string())?;
+    fs::write(out, record_to_csv(record)).map_err(|e| DaosError::io(out, e))?;
     println!(
         "wrote {} aggregation windows ({:.0}s of monitoring) to {out}",
         record.len(),
@@ -63,19 +84,21 @@ pub fn record(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_record(args: &Args) -> Result<daos_monitor::MonitorRecord, String> {
-    let path = args.pos(0).ok_or("missing record file argument")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    record_from_csv(&text)
+fn load_record(args: &Args) -> Result<daos_monitor::MonitorRecord, DaosError> {
+    let path = args.pos(0).ok_or_else(|| DaosError::usage("missing record file argument"))?;
+    let text = fs::read_to_string(path).map_err(|e| DaosError::io(path, e))?;
+    Ok(record_from_csv(&text)?)
 }
 
 /// `daos report heatmap <FILE>`
-pub fn report_heatmap(args: &Args) -> Result<(), String> {
+pub fn report_heatmap(args: &Args) -> Result<(), DaosError> {
     let record = load_record(args)?;
-    let span = biggest_active_span(&record).ok_or("record shows no activity")?;
+    let span = biggest_active_span(&record)
+        .ok_or_else(|| DaosError::usage("record shows no activity"))?;
     let rows: usize = args.opt_num("rows", 16)?;
     let cols: usize = args.opt_num("cols", 72)?;
-    let hm = Heatmap::from_record(&record, span, cols, rows).ok_or("empty record")?;
+    let hm = Heatmap::from_record(&record, span, cols, rows)
+        .ok_or_else(|| DaosError::usage("empty record"))?;
     print!("{}", hm.render_ascii());
     println!(
         "x: {:.0}..{:.0}s   y: {}..{} MiB",
@@ -88,7 +111,7 @@ pub fn report_heatmap(args: &Args) -> Result<(), String> {
 }
 
 /// `daos report wss <FILE>`
-pub fn report_wss(args: &Args) -> Result<(), String> {
+pub fn report_wss(args: &Args) -> Result<(), DaosError> {
     let record = load_record(args)?;
     let wss = WssReport::from_record(&record);
     print!("{}", wss.render());
@@ -96,29 +119,30 @@ pub fn report_wss(args: &Args) -> Result<(), String> {
 }
 
 /// `daos schemes <workload> --schemes-file FILE | --scheme LINE`
-pub fn schemes(args: &Args) -> Result<(), String> {
+pub fn schemes(args: &Args) -> Result<(), DaosError> {
     let spec = lookup(args)?;
     let machine = args.machine()?;
     let schemes = match (args.opt("schemes-file"), args.opt("scheme")) {
         (Some(path), _) => {
-            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            parse_schemes(&text).map_err(|e| e.to_string())?
+            let text = fs::read_to_string(path).map_err(|e| DaosError::io(path, e))?;
+            parse_schemes(&text)?
         }
         (None, Some(line)) => vec![parse_scheme_line(line)?],
-        (None, None) => return Err("need --schemes-file FILE or --scheme 'LINE'".into()),
+        (None, None) => {
+            return Err(DaosError::usage("need --schemes-file FILE or --scheme 'LINE'"))
+        }
     };
     println!("running {} under {} scheme(s) on {}:", spec.path_name(), schemes.len(), machine.name);
     for s in &schemes {
         println!("  {s}");
     }
     let seed = args.seed()?;
-    let baseline =
-        run(&machine, &RunConfig::baseline(), &spec, seed).map_err(|e| e.to_string())?;
+    let baseline = run(&machine, &RunConfig::baseline(), &spec, seed)?;
     let mut config = RunConfig::rec();
     config.name = "schemes".into();
     config.record = false;
-    config.schemes = schemes;
-    let result = run(&machine, &config, &spec, seed).map_err(|e| e.to_string())?;
+    config.schemes = schemes.into_iter().map(Into::into).collect();
+    let result = run(&machine, &config, &spec, seed)?;
     let n = Normalized::of(&baseline, &result);
     println!("\nruntime: {:.1}s (baseline {:.1}s, {:+.2}% change)",
         result.runtime_ns as f64 / 1e9,
@@ -141,8 +165,54 @@ pub fn schemes(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `daos trace <workload>`: run a workload with the telemetry collector
+/// installed and emit the event stream as JSONL (stdout or `--out`).
+pub fn trace(args: &Args) -> Result<(), DaosError> {
+    let mut spec = lookup(args)?;
+    let machine = args.machine()?;
+    let seed = args.seed()?;
+    let config = named_config(args.opt("config").unwrap_or("prcl"))?;
+    let ring: usize = args.opt_num("ring", daos_trace::DEFAULT_RING_CAPACITY)?;
+    let epochs: u64 = args.opt_num("epochs", spec.nr_epochs)?;
+    spec.nr_epochs = epochs.min(spec.nr_epochs);
+
+    daos_trace::install(daos_trace::Collector::builder().ring_capacity(ring).build()?)?;
+    // Take the collector back even if the run fails, so a retry in the
+    // same process does not hit AlreadyInstalled.
+    let run_result = run(&machine, &config, &spec, seed);
+    let collector = daos_trace::take().expect("collector installed above");
+    let result = run_result?;
+
+    let jsonl = daos_trace::export_collector(&collector);
+    match args.opt("out") {
+        Some(path) => {
+            fs::write(path, &jsonl).map_err(|e| DaosError::io(path, e))?;
+            println!(
+                "traced {} under '{}': {} events ({} dropped) over {:.1}s -> {path}",
+                spec.path_name(),
+                config.name,
+                collector.events().len(),
+                collector.ring().dropped(),
+                result.runtime_ns as f64 / 1e9,
+            );
+            if let Some(h) = collector.registry().hist(daos_trace::keys::MONITOR_CHECKS_PER_TICK)
+            {
+                println!(
+                    "monitor: {} ticks, max {} checks/tick (bound {})",
+                    h.count(),
+                    h.max(),
+                    2 * config.attrs.max_nr_regions
+                );
+            }
+        }
+        // Bare `daos trace` streams the JSONL itself, pipeline-friendly.
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
 /// `daos tune <workload>`
-pub fn tune(args: &Args) -> Result<(), String> {
+pub fn tune(args: &Args) -> Result<(), DaosError> {
     let spec = lookup(args)?;
     let machine = args.machine()?;
     let seed = args.seed()?;
@@ -150,7 +220,7 @@ pub fn tune(args: &Args) -> Result<(), String> {
     let (lo, hi) = range_str
         .split_once(':')
         .and_then(|(a, b)| Some((a.parse::<f64>().ok()?, b.parse::<f64>().ok()?)))
-        .ok_or_else(|| format!("bad --range '{range_str}' (expected LO:HI)"))?;
+        .ok_or_else(|| DaosError::usage(format!("bad --range '{range_str}' (expected LO:HI)")))?;
     let samples: u64 = args.opt_num("samples", 10)?;
 
     println!(
@@ -158,8 +228,7 @@ pub fn tune(args: &Args) -> Result<(), String> {
         spec.path_name(),
         machine.name
     );
-    let baseline =
-        run(&machine, &RunConfig::baseline(), &spec, seed).map_err(|e| e.to_string())?;
+    let baseline = run(&machine, &RunConfig::baseline(), &spec, seed)?;
     let mut score_fn = DefaultScore::default();
     let cfg = TunerConfig {
         time_limit: sec(samples * 10),
@@ -185,8 +254,7 @@ pub fn tune(args: &Args) -> Result<(), String> {
         &RunConfig::prcl_with_min_age((result.best_x * 1e9) as u64),
         &spec,
         seed,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     let n = Normalized::of(&baseline, &tuned);
     println!(
         "validated: {:.1}% memory saving at {:+.2}% runtime change (score {:.2})",
@@ -198,13 +266,15 @@ pub fn tune(args: &Args) -> Result<(), String> {
 }
 
 /// `daos fleet`
-pub fn fleet(args: &Args) -> Result<(), String> {
+pub fn fleet(args: &Args) -> Result<(), DaosError> {
     let machine = args.machine()?;
     let swap = match args.opt("swap").unwrap_or("zram") {
         "zram" => SwapConfig::Zram { capacity_bytes: 256 << 20, compression_ratio: 9.0 },
         "file" => SwapConfig::File { capacity_bytes: 1 << 30 },
         "none" => SwapConfig::None,
-        other => return Err(format!("unknown swap '{other}' (zram | file | none)")),
+        other => {
+            return Err(DaosError::usage(format!("unknown swap '{other}' (zram | file | none)")))
+        }
     };
     let min_age: u64 = args.opt_num("min-age", 30)?;
     let duration: u64 = args.opt_num("duration", 180)?;
@@ -216,7 +286,7 @@ pub fn fleet(args: &Args) -> Result<(), String> {
     );
     let mut sys = MemorySystem::new(machine, swap, seed);
     let mut fleet = ServerlessFleet::new(FleetConfig::default(), seed);
-    fleet.setup(&mut sys).map_err(|e| e.to_string())?;
+    fleet.setup(&mut sys)?;
     let full = fleet.total_rss(&sys) as f64;
     let scheme = parse_scheme_line(&format!("min max min min {min_age}s max pageout"))?;
     let mut engine = SchemesEngine::new(SchemeTarget::Physical, vec![scheme]);
@@ -225,7 +295,7 @@ pub fn fleet(args: &Args) -> Result<(), String> {
     let mut sink = Vec::new();
     let mut next_report = 30 * SEC;
     while sys.now() < duration * SEC {
-        let cost = fleet.epoch(&mut sys).map_err(|e| e.to_string())?;
+        let cost = fleet.epoch(&mut sys)?;
         sys.advance(cost);
         let now = sys.now();
         monitor.step(&mut sys, now, &mut sink);
@@ -269,17 +339,17 @@ mod tests {
     #[test]
     fn lookup_errors_are_friendly() {
         let err = lookup(&args("parsec3/quake")).unwrap_err();
-        assert!(err.contains("unknown workload"));
+        assert!(err.to_string().contains("unknown workload"));
         let err = lookup(&args("")).unwrap_err();
-        assert!(err.contains("missing workload"));
+        assert!(err.to_string().contains("missing workload"));
     }
 
     #[test]
     fn report_on_missing_file_errors() {
         let err = report_wss(&args("/no/such/file.rec")).unwrap_err();
-        assert!(err.contains("file.rec"));
+        assert!(err.to_string().contains("file.rec"));
         let err = report_heatmap(&args("/no/such/file.rec")).unwrap_err();
-        assert!(err.contains("file.rec"));
+        assert!(err.to_string().contains("file.rec"));
     }
 
     #[test]
@@ -311,20 +381,37 @@ mod tests {
     #[test]
     fn schemes_requires_a_scheme_source() {
         let err = schemes(&args("parsec3/freqmine")).unwrap_err();
-        assert!(err.contains("--schemes-file"));
+        assert!(err.to_string().contains("--schemes-file"));
         let err = schemes(&args("parsec3/freqmine --scheme bogus")).unwrap_err();
-        assert!(err.contains("expected 7 fields"));
+        assert!(err.to_string().contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn trace_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join("daos_cli_trace_test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        trace(&args(&format!(
+            "parsec3/freqmine --config rec --epochs 40 --out {path_str}"
+        )))
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let events = daos_trace::events_from_jsonl(&text).unwrap();
+        assert!(!events.is_empty(), "trace produced no events");
+        let _ = fs::remove_file(&path);
+
+        let err = trace(&args("parsec3/freqmine --config warp9")).unwrap_err();
+        assert!(err.to_string().contains("unknown config"));
     }
 
     #[test]
     fn fleet_rejects_unknown_swap() {
         let err = fleet(&args("--swap tape")).unwrap_err();
-        assert!(err.contains("unknown swap"));
+        assert!(err.to_string().contains("unknown swap"));
     }
 
     #[test]
     fn tune_range_parsing() {
         let err = tune(&args("parsec3/freqmine --range backwards")).unwrap_err();
-        assert!(err.contains("--range"));
+        assert!(err.to_string().contains("--range"));
     }
 }

@@ -2,6 +2,7 @@
 //! upstream `damo` utility: record access patterns, render reports, run
 //! schemes, auto-tune them, and drive the production-fleet scenario.
 
+use daos::DaosError;
 use daos_cli::args::Args;
 use daos_cli::commands;
 
@@ -20,6 +21,10 @@ SUBCOMMANDS:
     report wss <FILE>         working-set-size percentiles of a record
     schemes <workload>        run a workload under a scheme file
         (--schemes-file FILE | --scheme 'LINE') [--machine ...] [--seed N]
+    trace <workload>          run with the telemetry collector and emit
+        the event stream as JSONL (stdout, or --out FILE with a summary)
+        [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
+        [--ring N] [--epochs N] [--machine ...] [--seed N] [--out FILE]
     tune <workload>           auto-tune the prcl scheme's min_age
         [--range LO:HI] [--samples N] [--machine ...] [--seed N]
     fleet                     the serverless production scenario
@@ -35,30 +40,33 @@ fn main() {
         return;
     }
     let sub = raw.remove(0);
-    let result = (|| -> Result<(), String> {
+    let result = (|| -> Result<(), DaosError> {
         match sub.as_str() {
             "list" => commands::list(),
             "record" => commands::record(&Args::parse(raw)?),
             "report" => {
                 if raw.is_empty() {
-                    return Err("report needs a kind: heatmap | wss".into());
+                    return Err(DaosError::usage("report needs a kind: heatmap | wss"));
                 }
                 let kind = raw.remove(0);
                 let args = Args::parse(raw)?;
                 match kind.as_str() {
                     "heatmap" => commands::report_heatmap(&args),
                     "wss" => commands::report_wss(&args),
-                    other => Err(format!("unknown report kind '{other}'")),
+                    other => Err(DaosError::usage(format!("unknown report kind '{other}'"))),
                 }
             }
             "schemes" => commands::schemes(&Args::parse(raw)?),
+            "trace" => commands::trace(&Args::parse(raw)?),
             "tune" => commands::tune(&Args::parse(raw)?),
             "fleet" => commands::fleet(&Args::parse(raw)?),
-            other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+            other => {
+                Err(DaosError::usage(format!("unknown subcommand '{other}'\n\n{USAGE}")))
+            }
         }
     })();
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

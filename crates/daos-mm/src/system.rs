@@ -340,6 +340,12 @@ impl MemorySystem {
         out.touched_pages += 1;
         out.touched_huge += huge as u64;
         self.lru.insert(LruList::Inactive, pid, addr, gen);
+        let major = load_cost.is_some();
+        let now = self.now();
+        if major {
+            daos_trace::trace!(now, SwapIn { pid, addr });
+        }
+        daos_trace::trace!(now, PageFault { pid, addr, major });
         Ok(cost)
     }
 
@@ -365,6 +371,7 @@ impl MemorySystem {
         // Budget prevents livelock when every queued entry is stale or
         // referenced.
         let mut budget = (self.frames.capacity() as u64 * 4).max(1024);
+        let budget_start = budget;
 
         while freed < target && budget > 0 {
             budget -= 1;
@@ -413,6 +420,10 @@ impl MemorySystem {
             }
         }
         self.kstats.reclaim_ns += cost;
+        daos_trace::trace!(
+            self.now(),
+            Reclaim { freed_pages: freed, scanned: budget_start - budget, cost_ns: cost }
+        );
         cost
     }
 
@@ -453,6 +464,7 @@ impl MemorySystem {
         proc.rss_pages -= 1;
         proc.stats.swapouts += 1;
         self.frames.free(frame);
+        daos_trace::trace!(self.now(), SwapOut { pid, addr });
         Ok(self.machine.pageout_page_ns)
     }
 
@@ -660,6 +672,9 @@ impl MemorySystem {
             promoted += 1;
             cost += self.machine.huge_alloc_ns;
         }
+        if promoted > 0 {
+            daos_trace::trace!(self.now(), ThpPromote { pid, chunks: promoted });
+        }
         Ok((promoted, cost))
     }
 
@@ -756,6 +771,9 @@ impl MemorySystem {
             vma.set_huge(chunk, false);
             freed_bytes += nr_freed * PAGE_SIZE;
             cost += self.machine.pageout_page_ns * nr_freed.max(1);
+        }
+        if freed_bytes > 0 {
+            daos_trace::trace!(self.now(), ThpDemote { pid, freed_bytes });
         }
         Ok((freed_bytes, cost))
     }

@@ -1,6 +1,45 @@
 //! Monitoring attributes (the paper's §3.1 knobs).
 
 use daos_mm::clock::{ms, sec, Ns};
+use std::fmt;
+
+/// Why a [`MonitorAttrs`] configuration is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrsError {
+    /// `sampling_interval` is zero.
+    ZeroSamplingInterval,
+    /// `aggregation_interval` is shorter than `sampling_interval`.
+    AggregationBelowSampling,
+    /// `min_nr_regions` is below the floor of 3 (an aggregation needs at
+    /// least three regions to express a split).
+    TooFewRegions(usize),
+    /// `max_nr_regions` is below `min_nr_regions`.
+    MaxBelowMin {
+        /// The configured lower bound.
+        min: usize,
+        /// The configured (smaller) upper bound.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AttrsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrsError::ZeroSamplingInterval => write!(f, "sampling_interval must be > 0"),
+            AttrsError::AggregationBelowSampling => {
+                write!(f, "aggregation_interval must be >= sampling_interval")
+            }
+            AttrsError::TooFewRegions(n) => {
+                write!(f, "min_nr_regions must be >= 3 (got {n})")
+            }
+            AttrsError::MaxBelowMin { min, max } => {
+                write!(f, "max_nr_regions ({max}) must be >= min_nr_regions ({min})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttrsError {}
 
 /// The five user-set monitoring parameters.
 ///
@@ -60,20 +99,82 @@ impl MonitorAttrs {
     }
 
     /// Validate parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), AttrsError> {
         if self.sampling_interval == 0 {
-            return Err("sampling_interval must be > 0".into());
+            return Err(AttrsError::ZeroSamplingInterval);
         }
         if self.aggregation_interval < self.sampling_interval {
-            return Err("aggregation_interval must be >= sampling_interval".into());
+            return Err(AttrsError::AggregationBelowSampling);
         }
         if self.min_nr_regions < 3 {
-            return Err("min_nr_regions must be >= 3".into());
+            return Err(AttrsError::TooFewRegions(self.min_nr_regions));
         }
         if self.max_nr_regions < self.min_nr_regions {
-            return Err("max_nr_regions must be >= min_nr_regions".into());
+            return Err(AttrsError::MaxBelowMin {
+                min: self.min_nr_regions,
+                max: self.max_nr_regions,
+            });
         }
         Ok(())
+    }
+
+    /// Start building attributes from [`paper_defaults`](Self::paper_defaults);
+    /// [`AttrsBuilder::build`] validates the result.
+    pub fn builder() -> AttrsBuilder {
+        AttrsBuilder { attrs: Self::paper_defaults() }
+    }
+}
+
+/// Builder for [`MonitorAttrs`]; every field starts at the paper's
+/// evaluation value, and [`build`](Self::build) rejects inconsistent
+/// combinations (e.g. `min_nr_regions > max_nr_regions`) with a typed
+/// [`AttrsError`].
+#[derive(Debug, Clone)]
+pub struct AttrsBuilder {
+    attrs: MonitorAttrs,
+}
+
+impl AttrsBuilder {
+    /// Interval between access checks (must be > 0).
+    pub fn sampling_interval(mut self, ns: Ns) -> Self {
+        self.attrs.sampling_interval = ns;
+        self
+    }
+
+    /// Aggregation window length (must be ≥ the sampling interval).
+    pub fn aggregation_interval(mut self, ns: Ns) -> Self {
+        self.attrs.aggregation_interval = ns;
+        self
+    }
+
+    /// Target re-examination interval.
+    pub fn regions_update_interval(mut self, ns: Ns) -> Self {
+        self.attrs.regions_update_interval = ns;
+        self
+    }
+
+    /// Lower bound on the region count (≥ 3).
+    pub fn min_nr_regions(mut self, n: usize) -> Self {
+        self.attrs.min_nr_regions = n;
+        self
+    }
+
+    /// Upper bound on the region count (≥ the lower bound).
+    pub fn max_nr_regions(mut self, n: usize) -> Self {
+        self.attrs.max_nr_regions = n;
+        self
+    }
+
+    /// Enable/disable the adaptive regions adjustment.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.attrs.adaptive = on;
+        self
+    }
+
+    /// Validate and produce the attributes.
+    pub fn build(self) -> Result<MonitorAttrs, AttrsError> {
+        self.attrs.validate()?;
+        Ok(self.attrs)
     }
 }
 
@@ -111,6 +212,36 @@ mod tests {
         let mut a = MonitorAttrs::paper_defaults();
         a.max_nr_regions = a.min_nr_regions - 1;
         assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let a = MonitorAttrs::builder()
+            .sampling_interval(ms(10))
+            .aggregation_interval(ms(200))
+            .min_nr_regions(20)
+            .max_nr_regions(500)
+            .adaptive(false)
+            .build()
+            .unwrap();
+        assert_eq!(a.sampling_interval, ms(10));
+        assert_eq!(a.max_nr_accesses(), 20);
+        assert!(!a.adaptive);
+        // Defaults flow through untouched.
+        assert_eq!(a.regions_update_interval, sec(1));
+
+        let err = MonitorAttrs::builder()
+            .min_nr_regions(100)
+            .max_nr_regions(50)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AttrsError::MaxBelowMin { min: 100, max: 50 });
+        assert!(err.to_string().contains("max_nr_regions"));
+
+        assert_eq!(
+            MonitorAttrs::builder().sampling_interval(0).build().unwrap_err(),
+            AttrsError::ZeroSamplingInterval
+        );
     }
 
     #[test]

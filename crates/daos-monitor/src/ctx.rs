@@ -115,6 +115,7 @@ impl<P: Primitives> MonitorCtx<P> {
 
         // Aggregation boundary: merge+age, report, reset, split.
         if self.next_aggr <= t {
+            let before_merge = self.regions.len() as u64;
             if self.attrs.adaptive {
                 let sz_limit = (self.regions.total_bytes()
                     / self.attrs.min_nr_regions.max(1) as u64)
@@ -128,15 +129,30 @@ impl<P: Primitives> MonitorCtx<P> {
                 // Static sampling still needs the aging bookkeeping.
                 self.regions.merge_with_aging(self.attrs.merge_threshold(), 0, usize::MAX);
             }
+            let after_merge = self.regions.len() as u64;
+            if after_merge != before_merge {
+                daos_trace::trace!(t, RegionMerge { before: before_merge, after: after_merge });
+            }
             sink.push(Aggregation {
                 at: t,
                 regions: self.regions.snapshot(),
                 max_nr_accesses: self.attrs.max_nr_accesses(),
                 aggregation_interval: self.attrs.aggregation_interval,
             });
+            daos_trace::trace!(
+                t,
+                Aggregation {
+                    nr_regions: after_merge,
+                    window_ns: self.attrs.aggregation_interval,
+                }
+            );
             self.regions.reset_aggregated();
             if self.attrs.adaptive {
                 self.regions.split(&mut self.rng, self.attrs.max_nr_regions);
+                let after_split = self.regions.len() as u64;
+                if after_split != after_merge {
+                    daos_trace::trace!(t, RegionSplit { before: after_merge, after: after_split });
+                }
             }
             self.pending_work_ns += self.regions.len() as Ns * AGGR_PER_REGION_NS;
             self.overhead.nr_aggregations += 1;
@@ -177,6 +193,10 @@ impl<P: Primitives> MonitorCtx<P> {
         let work = checks * check_cost;
         self.overhead.work_ns += work;
         self.pending_work_ns += work;
+        daos_trace::trace!(
+            t,
+            SamplingTick { checks, nr_regions: self.regions.len() as u64, work_ns: work }
+        );
     }
 }
 
@@ -353,6 +373,34 @@ mod tests {
         // Aging still works.
         let agg = sink.last().unwrap();
         assert!(agg.regions.iter().any(|r| r.age > 0));
+    }
+
+    #[test]
+    fn trace_registry_is_one_source_of_truth() {
+        // With a collector installed for the whole run, re-deriving
+        // OverheadStats from the registry must equal the embedded struct.
+        daos_trace::install(daos_trace::Collector::builder().build().unwrap()).unwrap();
+        let mut env = SyntheticSpace::new(vec![AddrRange::new(0, mb(64))]);
+        let attrs = small_attrs();
+        let mut ctx = MonitorCtx::new(attrs, SyntheticPrimitives, &env, 0, 11);
+        let mut sink = Vec::new();
+        for i in 1..=300u64 {
+            env.touch_range(AddrRange::new(0, mb(4)));
+            ctx.step(&mut env, i * ms(5), &mut sink);
+        }
+        let c = daos_trace::take().unwrap();
+        assert_eq!(OverheadStats::from_registry(c.registry()), ctx.overhead);
+        // The event stream carries the same bound witness.
+        let max_from_events = c
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                daos_trace::Event::SamplingTick { checks, .. } => Some(checks),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_from_events, ctx.overhead.max_checks_per_tick);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod region;
 pub mod regions;
 pub mod snapshot;
 
-pub use attrs::MonitorAttrs;
+pub use attrs::{AttrsBuilder, AttrsError, MonitorAttrs};
 pub use ctx::MonitorCtx;
 pub use overhead::OverheadStats;
 pub use primitives::{

@@ -8,11 +8,27 @@ use daos_mm::system::MemorySystem;
 use daos_monitor::{Aggregation, RegionInfo};
 
 use crate::action::Action;
+use crate::config::SchemeConfig;
 use crate::filter::{apply_filters, AddrFilter};
 use crate::quota::{prioritize, Quota, QuotaState};
 use crate::scheme::Scheme;
 use crate::stats::SchemeStats;
 use crate::watermarks::{free_mem_permille, WatermarkState, Watermarks};
+
+/// The trace taxonomy's name for an [`Action`].
+fn action_tag(action: Action) -> daos_trace::ActionTag {
+    use daos_trace::ActionTag as T;
+    match action {
+        Action::Stat => T::Stat,
+        Action::Pageout => T::Pageout,
+        Action::Hugepage => T::Hugepage,
+        Action::Nohugepage => T::Nohugepage,
+        Action::Cold => T::Cold,
+        Action::Willneed => T::Willneed,
+        Action::LruPrio => T::LruPrio,
+        Action::LruDeprio => T::LruDeprio,
+    }
+}
 
 /// What address space the engine applies actions to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,31 +69,54 @@ pub struct SchemesEngine {
 
 impl SchemesEngine {
     /// Build an engine applying `schemes` (in order) to `target`.
-    pub fn new(target: SchemeTarget, schemes: Vec<Scheme>) -> Self {
-        let n = schemes.len();
-        Self {
+    ///
+    /// Accepts anything convertible to [`SchemeConfig`]s: a plain
+    /// `Vec<Scheme>` (no attachments), or configs built with
+    /// [`Scheme::configure`] carrying quotas, watermarks, and filters.
+    /// Quota windows start at virtual time 0.
+    pub fn new<I>(target: SchemeTarget, schemes: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<SchemeConfig>,
+    {
+        let mut engine = Self {
             target,
-            schemes,
-            stats: vec![SchemeStats::default(); n],
-            quotas: vec![None; n],
-            wmarks: vec![None; n],
-            filters: vec![Vec::new(); n],
+            schemes: Vec::new(),
+            stats: Vec::new(),
+            quotas: Vec::new(),
+            wmarks: Vec::new(),
+            filters: Vec::new(),
+        };
+        for config in schemes {
+            let config: SchemeConfig = config.into();
+            engine.schemes.push(config.scheme);
+            engine.stats.push(SchemeStats::default());
+            engine.quotas.push(config.quota.map(|q| QuotaState::new(q, 0)));
+            engine.wmarks.push(config.watermarks.map(|w| (w, WatermarkState::Inactive)));
+            engine.filters.push(config.filters);
         }
+        engine
     }
 
     /// Attach a quota to scheme `idx` (extension; see `quota` module).
+    #[deprecated(note = "attach the quota with `Scheme::configure().quota(..)` and pass the \
+                         resulting `SchemeConfig` to `SchemesEngine::new`")]
     pub fn set_quota(&mut self, idx: usize, quota: Quota, now: Ns) {
         self.quotas[idx] = Some(QuotaState::new(quota, now));
     }
 
     /// Attach watermarks to scheme `idx`: the scheme only acts while the
     /// free-memory metric sits in the configured band (see `watermarks`).
+    #[deprecated(note = "attach the watermarks with `Scheme::configure().watermarks(..)` and \
+                         pass the resulting `SchemeConfig` to `SchemesEngine::new`")]
     pub fn set_watermarks(&mut self, idx: usize, wmarks: Watermarks) {
         debug_assert!(wmarks.validate().is_ok());
         self.wmarks[idx] = Some((wmarks, WatermarkState::Inactive));
     }
 
     /// Append an address filter to scheme `idx` (see `filter`).
+    #[deprecated(note = "attach filters with `Scheme::configure().filter(..)` and pass the \
+                         resulting `SchemeConfig` to `SchemesEngine::new`")]
     pub fn add_filter(&mut self, idx: usize, filter: AddrFilter) {
         self.filters[idx].push(filter);
     }
@@ -114,7 +153,15 @@ impl SchemesEngine {
             // Watermarks: advance the activation state machine and skip
             // dormant schemes.
             if let Some((wm, state)) = &mut self.wmarks[i] {
+                let prev = *state;
                 *state = wm.next_state(free_permille, *state);
+                if *state != prev {
+                    daos_trace::trace!(agg.at, WatermarkTransition {
+                        scheme: i as u32,
+                        active: *state == WatermarkState::Active,
+                        metric_permille: free_permille as u64,
+                    });
+                }
                 if *state == WatermarkState::Inactive {
                     continue;
                 }
@@ -138,11 +185,19 @@ impl SchemesEngine {
             }
             for r in &matching {
                 self.stats[i].tried(r.range.len());
+                daos_trace::trace!(agg.at, SchemeMatch {
+                    scheme: i as u32,
+                    bytes: r.range.len(),
+                });
                 let granted = match &mut self.quotas[i] {
                     Some(q) => {
                         let g = q.consume(r.range.len());
                         if g == 0 {
                             self.stats[i].nr_quota_skips += 1;
+                            daos_trace::trace!(agg.at, QuotaThrottle {
+                                scheme: i as u32,
+                                skipped_bytes: r.range.len(),
+                            });
                             continue;
                         }
                         g
@@ -157,6 +212,11 @@ impl SchemesEngine {
                         Self::apply(self.target, scheme.action, sys, allowed, &mut pass);
                     if applied > 0 {
                         self.stats[i].applied(applied);
+                        daos_trace::trace!(agg.at, SchemeApply {
+                            scheme: i as u32,
+                            action: action_tag(scheme.action),
+                            bytes: applied,
+                        });
                     }
                 }
             }
@@ -367,9 +427,12 @@ mod tests {
         let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
         sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
         clear_refs(&mut sys, pid, range);
-        let scheme = Scheme::any(Action::Pageout);
-        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
-        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
         let agg = agg_of(vec![info(range, 0, 100)]);
         let pass = engine.on_aggregation(&mut sys, &agg);
         assert_eq!(pass.paged_out, 256 << 10, "quota caps the pageout");
@@ -386,9 +449,12 @@ mod tests {
         sys.apply_access(pid, &AccessBatch::all(b, 1.0)).unwrap();
         clear_refs(&mut sys, pid, a);
         clear_refs(&mut sys, pid, b);
-        let scheme = Scheme::any(Action::Pageout);
-        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
-        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
         // b is much older/colder than a.
         let agg = agg_of(vec![info(a, 2, 1), info(b, 0, 90)]);
         engine.on_aggregation(&mut sys, &agg);
@@ -460,18 +526,18 @@ mod tests {
         sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
         clear_refs(&mut sys, pid, range);
 
-        let mut engine =
-            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
         // Activate only below 50% free; currently 75% free → dormant.
-        engine.set_watermarks(
-            0,
-            crate::watermarks::Watermarks {
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .watermarks(crate::watermarks::Watermarks {
                 metric: crate::watermarks::WatermarkMetric::FreeMemPermille,
                 high: 600,
                 mid: 500,
                 low: 100,
-            },
-        );
+            })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
         let agg = agg_of(vec![info(range, 0, 100)]);
         let pass = engine.on_aggregation(&mut sys, &agg);
         assert_eq!(pass.paged_out, 0, "75% free: watermarks keep the scheme dormant");
@@ -499,11 +565,14 @@ mod tests {
         sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
         clear_refs(&mut sys, pid, range);
 
-        let mut engine =
-            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
         // Protect the middle half of the mapping.
         let protected = AddrRange::new(range.start + (256 << 10), range.start + (768 << 10));
-        engine.add_filter(0, crate::filter::AddrFilter::reject(protected));
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .filter(crate::filter::AddrFilter::reject(protected))
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
         let agg = agg_of(vec![info(range, 0, 100)]);
         let pass = engine.on_aggregation(&mut sys, &agg);
         assert_eq!(pass.paged_out, 512 << 10, "only the unprotected half went out");
@@ -521,13 +590,63 @@ mod tests {
         let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
         sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
         clear_refs(&mut sys, pid, range);
-        let mut engine =
-            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
         let arena = AddrRange::new(range.start, range.start + (128 << 10));
-        engine.add_filter(0, crate::filter::AddrFilter::allow(arena));
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .filter(crate::filter::AddrFilter::allow(arena))
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
         let agg = agg_of(vec![info(range, 0, 100)]);
         let pass = engine.on_aggregation(&mut sys, &agg);
         assert_eq!(pass.paged_out, 128 << 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_index_setters_still_work() {
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let mut engine =
+            SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
+        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
+        let agg = agg_of(vec![info(range, 0, 100)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 256 << 10, "legacy setter path still caps the pageout");
+    }
+
+    #[test]
+    fn trace_registry_mirrors_scheme_stats() {
+        daos_trace::install(daos_trace::Collector::builder().build().unwrap()).unwrap();
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
+        // Two regions: the quota grants the first and skips the second.
+        let half = AddrRange::new(range.start, range.start + (512 << 10));
+        let rest = AddrRange::new(range.start + (512 << 10), range.end);
+        let agg = agg_of(vec![info(half, 0, 100), info(rest, 0, 100)]);
+        engine.on_aggregation(&mut sys, &agg);
+
+        let collector = daos_trace::take().unwrap();
+        let from_reg = SchemeStats::from_registry(collector.registry(), 0);
+        assert_eq!(from_reg, engine.stats()[0], "registry is the same source of truth");
+        assert!(from_reg.nr_tried >= 2 && from_reg.nr_quota_skips >= 1);
+        let kinds: Vec<&str> =
+            collector.events().iter().map(|te| te.event.name()).collect();
+        assert!(kinds.contains(&"SchemeMatch"));
+        assert!(kinds.contains(&"SchemeApply"));
+        assert!(kinds.contains(&"QuotaThrottle"));
     }
 
     #[test]

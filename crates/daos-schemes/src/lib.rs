@@ -17,6 +17,7 @@
 //! ```
 
 pub mod action;
+pub mod config;
 pub mod engine;
 pub mod filter;
 pub mod parser;
@@ -26,10 +27,13 @@ pub mod stats;
 pub mod watermarks;
 
 pub use action::Action;
+pub use config::{SchemeConfig, SchemeConfigBuilder, SchemeConfigError};
 pub use engine::{EnginePass, SchemeTarget, SchemesEngine};
 pub use filter::{apply_filters, AddrFilter, FilterMode};
-pub use parser::{parse_scheme_line, parse_schemes, ParseError};
+pub use parser::{parse_scheme_line, parse_schemes, ParseError, SchemeParseError};
 pub use quota::{Quota, QuotaState};
 pub use scheme::{AgeVal, Bound, FreqVal, Scheme};
 pub use stats::SchemeStats;
-pub use watermarks::{free_mem_permille, WatermarkMetric, WatermarkState, Watermarks};
+pub use watermarks::{
+    free_mem_permille, WatermarkMetric, WatermarkState, Watermarks, WatermarksError,
+};

@@ -28,22 +28,93 @@ use daos_mm::clock::Ns;
 use crate::action::Action;
 use crate::scheme::{AgeVal, Bound, FreqVal, Scheme};
 
-/// A parse failure with its line number (1-based) and message.
+/// Why a single scheme line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeParseError {
+    /// The line does not have exactly 7 whitespace-separated fields.
+    FieldCount {
+        /// How many fields were found.
+        got: usize,
+        /// The offending line.
+        line: String,
+    },
+    /// The action keyword is not in Table 1 (or the paper's aliases).
+    UnknownAction(String),
+    /// A size/age token carries an unrecognised unit suffix.
+    UnknownUnit {
+        /// Which field kind ("size" or "age").
+        kind: &'static str,
+        /// The unit suffix found.
+        unit: String,
+        /// The full offending token.
+        token: String,
+    },
+    /// A numeric token failed to parse.
+    BadNumber {
+        /// What was expected ("size number", "percentage", ...).
+        kind: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A size/age value is negative.
+    Negative {
+        /// Which field kind ("size" or "age").
+        kind: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A frequency percentage lies outside 0–100.
+    PercentOutOfRange(String),
+    /// A token has no leading digits where a number was required.
+    NoNumber(String),
+}
+
+impl core::fmt::Display for SchemeParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SchemeParseError::FieldCount { got, line } => {
+                write!(f, "expected 7 fields (got {got}): '{line}'")
+            }
+            SchemeParseError::UnknownAction(a) => write!(f, "unknown action '{a}'"),
+            SchemeParseError::UnknownUnit { kind, unit, token } => {
+                write!(f, "unknown {kind} unit '{unit}' in '{token}'")
+            }
+            SchemeParseError::BadNumber { kind, token } => {
+                write!(f, "bad {kind} '{token}'")
+            }
+            SchemeParseError::Negative { kind, token } => {
+                write!(f, "negative {kind} '{token}'")
+            }
+            SchemeParseError::PercentOutOfRange(t) => {
+                write!(f, "percentage out of range '{t}'")
+            }
+            SchemeParseError::NoNumber(t) => write!(f, "expected a number in '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeParseError {}
+
+/// A parse failure with its line number (1-based) and typed cause.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number in the input.
     pub line: usize,
     /// What went wrong.
-    pub message: String,
+    pub error: SchemeParseError,
 }
 
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.error)
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Which slot of a bound pair a token sits in.
 #[derive(Clone, Copy, PartialEq)]
@@ -60,16 +131,16 @@ pub fn parse_schemes(text: &str) -> Result<Vec<Scheme>, ParseError> {
         if line.is_empty() {
             continue;
         }
-        out.push(parse_scheme_line(line).map_err(|message| ParseError { line: i + 1, message })?);
+        out.push(parse_scheme_line(line).map_err(|error| ParseError { line: i + 1, error })?);
     }
     Ok(out)
 }
 
 /// Parse a single scheme line.
-pub fn parse_scheme_line(line: &str) -> Result<Scheme, String> {
+pub fn parse_scheme_line(line: &str) -> Result<Scheme, SchemeParseError> {
     let tok: Vec<&str> = line.split_whitespace().collect();
     if tok.len() != 7 {
-        return Err(format!("expected 7 fields (got {}): '{line}'", tok.len()));
+        return Err(SchemeParseError::FieldCount { got: tok.len(), line: line.to_string() });
     }
     let min_sz = parse_sz(tok[0], Slot::Lower)?;
     let max_sz = parse_sz(tok[1], Slot::Upper)?;
@@ -78,7 +149,7 @@ pub fn parse_scheme_line(line: &str) -> Result<Scheme, String> {
     let min_age = parse_age(tok[4], Slot::Lower)?;
     let max_age = parse_age(tok[5], Slot::Upper)?;
     let action = Action::from_keyword(tok[6])
-        .ok_or_else(|| format!("unknown action '{}'", tok[6]))?;
+        .ok_or_else(|| SchemeParseError::UnknownAction(tok[6].to_string()))?;
     Ok(Scheme { min_sz, max_sz, min_freq, max_freq, min_age, max_age, action })
 }
 
@@ -101,7 +172,7 @@ fn keyword_bound<T>(tok: &str, slot: Slot, type_min: T, type_max: T) -> Option<B
     }
 }
 
-fn parse_sz(tok: &str, slot: Slot) -> Result<Bound<u64>, String> {
+fn parse_sz(tok: &str, slot: Slot) -> Result<Bound<u64>, SchemeParseError> {
     if let Some(b) = keyword_bound(tok, slot, 0u64, u64::MAX) {
         return Ok(b);
     }
@@ -112,40 +183,58 @@ fn parse_sz(tok: &str, slot: Slot) -> Result<Bound<u64>, String> {
         "m" | "mb" | "mib" => 1 << 20,
         "g" | "gb" | "gib" => 1 << 30,
         "t" | "tb" | "tib" => 1 << 40,
-        other => return Err(format!("unknown size unit '{other}' in '{tok}'")),
+        other => {
+            return Err(SchemeParseError::UnknownUnit {
+                kind: "size",
+                unit: other.to_string(),
+                token: tok.to_string(),
+            })
+        }
     };
-    let v: f64 = num.parse().map_err(|_| format!("bad size number '{num}'"))?;
+    let v: f64 = num.parse().map_err(|_| SchemeParseError::BadNumber {
+        kind: "size number",
+        token: num.to_string(),
+    })?;
     if v < 0.0 {
-        return Err(format!("negative size '{tok}'"));
+        return Err(SchemeParseError::Negative { kind: "size", token: tok.to_string() });
     }
     Ok(Bound::Val((v * mult as f64) as u64))
 }
 
-fn parse_freq(tok: &str, slot: Slot) -> Result<Bound<FreqVal>, String> {
+fn parse_freq(tok: &str, slot: Slot) -> Result<Bound<FreqVal>, SchemeParseError> {
     if let Some(b) = keyword_bound(tok, slot, FreqVal::Samples(0), FreqVal::Percent(100.0)) {
         return Ok(b);
     }
     if let Some(p) = tok.strip_suffix('%') {
-        let v: f64 = p.parse().map_err(|_| format!("bad percentage '{tok}'"))?;
+        let v: f64 = p.parse().map_err(|_| SchemeParseError::BadNumber {
+            kind: "percentage",
+            token: tok.to_string(),
+        })?;
         if !(0.0..=100.0).contains(&v) {
-            return Err(format!("percentage out of range '{tok}'"));
+            return Err(SchemeParseError::PercentOutOfRange(tok.to_string()));
         }
         return Ok(Bound::Val(FreqVal::Percent(v)));
     }
-    let v: u32 = tok.parse().map_err(|_| format!("bad sample count '{tok}'"))?;
+    let v: u32 = tok.parse().map_err(|_| SchemeParseError::BadNumber {
+        kind: "sample count",
+        token: tok.to_string(),
+    })?;
     Ok(Bound::Val(FreqVal::Samples(v)))
 }
 
-fn parse_age(tok: &str, slot: Slot) -> Result<Bound<AgeVal>, String> {
+fn parse_age(tok: &str, slot: Slot) -> Result<Bound<AgeVal>, SchemeParseError> {
     if let Some(b) =
         keyword_bound(tok, slot, AgeVal::Intervals(0), AgeVal::Intervals(u32::MAX))
     {
         return Ok(b);
     }
     let (num, unit) = split_num_unit(tok)?;
-    let v: f64 = num.parse().map_err(|_| format!("bad age number '{num}'"))?;
+    let v: f64 = num.parse().map_err(|_| SchemeParseError::BadNumber {
+        kind: "age number",
+        token: num.to_string(),
+    })?;
     if v < 0.0 {
-        return Err(format!("negative age '{tok}'"));
+        return Err(SchemeParseError::Negative { kind: "age", token: tok.to_string() });
     }
     let ns: Option<Ns> = match unit.to_ascii_lowercase().as_str() {
         "" => None, // bare number = aggregation intervals
@@ -155,7 +244,13 @@ fn parse_age(tok: &str, slot: Slot) -> Result<Bound<AgeVal>, String> {
         "s" => Some((v * 1e9) as Ns),
         "m" => Some((v * 60e9) as Ns),
         "h" => Some((v * 3600e9) as Ns),
-        other => return Err(format!("unknown age unit '{other}' in '{tok}'")),
+        other => {
+            return Err(SchemeParseError::UnknownUnit {
+                kind: "age",
+                unit: other.to_string(),
+                token: tok.to_string(),
+            })
+        }
     };
     Ok(Bound::Val(match ns {
         Some(t) => AgeVal::Time(t),
@@ -163,14 +258,14 @@ fn parse_age(tok: &str, slot: Slot) -> Result<Bound<AgeVal>, String> {
     }))
 }
 
-fn split_num_unit(tok: &str) -> Result<(&str, &str), String> {
+fn split_num_unit(tok: &str) -> Result<(&str, &str), SchemeParseError> {
     let split = tok
         .char_indices()
         .find(|(_, c)| !(c.is_ascii_digit() || *c == '.'))
         .map(|(i, _)| i)
         .unwrap_or(tok.len());
     if split == 0 {
-        return Err(format!("expected a number in '{tok}'"));
+        return Err(SchemeParseError::NoNumber(tok.to_string()));
     }
     Ok((&tok[..split], &tok[split..]))
 }

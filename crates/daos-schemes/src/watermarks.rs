@@ -9,6 +9,38 @@
 //! fighting for survival and kdamond would only add noise).
 
 
+/// Why a [`Watermarks`] band is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatermarksError {
+    /// The band is not ordered `low <= mid <= high`.
+    BadOrder {
+        /// Configured low mark.
+        low: u32,
+        /// Configured mid mark.
+        mid: u32,
+        /// Configured high mark.
+        high: u32,
+    },
+    /// A mark exceeds the permille scale (1000).
+    NotPermille(u32),
+}
+
+impl std::fmt::Display for WatermarksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatermarksError::BadOrder { low, mid, high } => write!(
+                f,
+                "watermarks must satisfy low <= mid <= high: {low} / {mid} / {high}"
+            ),
+            WatermarksError::NotPermille(v) => {
+                write!(f, "watermarks are permille values: high = {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatermarksError {}
+
 /// Metric a watermark band is measured against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WatermarkMetric {
@@ -48,15 +80,16 @@ impl Watermarks {
     }
 
     /// Validate ordering `low <= mid <= high <= 1000`.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WatermarksError> {
         if self.low > self.mid || self.mid > self.high {
-            return Err(format!(
-                "watermarks must satisfy low <= mid <= high: {} / {} / {}",
-                self.low, self.mid, self.high
-            ));
+            return Err(WatermarksError::BadOrder {
+                low: self.low,
+                mid: self.mid,
+                high: self.high,
+            });
         }
         if self.high > 1000 {
-            return Err(format!("watermarks are permille values: high = {}", self.high));
+            return Err(WatermarksError::NotPermille(self.high));
         }
         Ok(())
     }

@@ -1,0 +1,280 @@
+//! The collector: a ring buffer plus a metrics registry behind a
+//! thread-local install point. Instrumented crates emit through the
+//! [`trace!`](crate::trace) macro, which checks a single thread-local
+//! flag first — with no collector installed (or an installed collector
+//! built with `.enabled(false)`) the event expression is never even
+//! evaluated, so hot paths pay one branch.
+//!
+//! The install point is thread-local on purpose: a simulation run is
+//! single-threaded, while `cargo test` runs many tests concurrently —
+//! per-thread collectors isolate them without locks on the emit path.
+
+use crate::event::{Event, Ns, TimedEvent};
+use crate::metrics::{keys, Registry};
+use crate::ring::Ring;
+use crate::TraceError;
+use std::cell::{Cell, RefCell};
+
+/// Default ring capacity (events). 64Ki timed events ≈ 2 MiB; enough to
+/// hold every monitor/schemes event of a full paper-length run while
+/// bounding mm fault storms.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// An event sink: bounded ring of typed events + metrics registry.
+/// Build with [`Collector::builder`], activate with [`install`], and
+/// reclaim with [`take`] when the traced section is done.
+#[derive(Debug)]
+pub struct Collector {
+    ring: Ring,
+    registry: Registry,
+    enabled: bool,
+}
+
+/// Builder for [`Collector`]; validation happens at [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct CollectorBuilder {
+    ring_capacity: usize,
+    enabled: bool,
+}
+
+impl Default for CollectorBuilder {
+    fn default() -> Self {
+        CollectorBuilder { ring_capacity: DEFAULT_RING_CAPACITY, enabled: true }
+    }
+}
+
+impl CollectorBuilder {
+    /// Ring capacity in events (must be ≥ 1).
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Start enabled (default) or disabled. A disabled collector can be
+    /// installed to pin the zero-overhead path in tests.
+    pub fn enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Validate and construct the collector.
+    pub fn build(self) -> Result<Collector, TraceError> {
+        if self.ring_capacity == 0 {
+            return Err(TraceError::InvalidCapacity(self.ring_capacity));
+        }
+        Ok(Collector {
+            ring: Ring::new(self.ring_capacity),
+            registry: Registry::new(),
+            enabled: self.enabled,
+        })
+    }
+}
+
+impl Collector {
+    /// Start building a collector.
+    pub fn builder() -> CollectorBuilder {
+        CollectorBuilder::default()
+    }
+
+    /// The event ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Whether this collector records events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Surviving events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.ring.to_vec()
+    }
+
+    /// Record one event: push to the ring and mirror into the registry.
+    /// (Callers normally go through [`trace!`](crate::trace) instead.)
+    pub fn record(&mut self, at: Ns, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.mirror(&event);
+        self.ring.push(TimedEvent { at, event });
+    }
+
+    /// Registry mirror for each event kind — the counters/histograms the
+    /// stats structs re-derive from. Kept in one match so the event
+    /// taxonomy and the metric key space evolve together.
+    fn mirror(&mut self, event: &Event) {
+        let reg = &mut self.registry;
+        match *event {
+            Event::PageFault { major, .. } => {
+                reg.counter_add(if major { "mm.major_faults" } else { "mm.minor_faults" }, 1);
+            }
+            Event::Reclaim { freed_pages, scanned, cost_ns } => {
+                reg.counter_add("mm.reclaims", 1);
+                reg.counter_add("mm.reclaim_freed_pages", freed_pages);
+                reg.counter_add("mm.reclaim_scanned_pages", scanned);
+                reg.hist_record("mm.reclaim_cost_ns", cost_ns);
+            }
+            Event::SwapOut { .. } => reg.counter_add("mm.swapouts", 1),
+            Event::SwapIn { .. } => reg.counter_add("mm.swapins", 1),
+            Event::ThpPromote { chunks, .. } => {
+                reg.counter_add("mm.thp_promoted_chunks", chunks)
+            }
+            Event::ThpDemote { freed_bytes, .. } => {
+                reg.counter_add("mm.thp_demoted_bytes", freed_bytes)
+            }
+            Event::SamplingTick { checks, nr_regions, work_ns } => {
+                reg.hist_record(keys::MONITOR_CHECKS_PER_TICK, checks);
+                reg.counter_add(keys::MONITOR_WORK_NS, work_ns);
+                reg.gauge_set("monitor.nr_regions", nr_regions as f64);
+            }
+            Event::RegionSplit { .. } => reg.counter_add(keys::MONITOR_SPLITS, 1),
+            Event::RegionMerge { .. } => reg.counter_add(keys::MONITOR_MERGES, 1),
+            Event::Aggregation { .. } => reg.counter_add(keys::MONITOR_AGGREGATIONS, 1),
+            Event::SchemeMatch { scheme, bytes } => {
+                reg.counter_add(&keys::scheme(scheme, "nr_tried"), 1);
+                reg.counter_add(&keys::scheme(scheme, "sz_tried"), bytes);
+            }
+            Event::SchemeApply { scheme, bytes, action: _ } => {
+                reg.counter_add(&keys::scheme(scheme, "nr_applied"), 1);
+                reg.counter_add(&keys::scheme(scheme, "sz_applied"), bytes);
+                reg.hist_record("schemes.apply_bytes", bytes);
+            }
+            Event::QuotaThrottle { scheme, skipped_bytes } => {
+                reg.counter_add(&keys::scheme(scheme, "nr_quota_skips"), 1);
+                reg.counter_add(&keys::scheme(scheme, "sz_quota_skipped"), skipped_bytes);
+            }
+            Event::WatermarkTransition { .. } => {
+                reg.counter_add(keys::SCHEMES_WMARK_TRANSITIONS, 1)
+            }
+            Event::TunerSample { .. } => reg.counter_add("tuner.samples", 1),
+            Event::TunerRefit { .. } => reg.counter_add("tuner.refits", 1),
+            Event::TunerStep { best_x, best_score } => {
+                reg.gauge_set("tuner.best_x", best_x);
+                reg.gauge_set("tuner.best_score", best_score);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// Mirror of "a collector is installed AND enabled", kept in a
+    /// separate `Cell` so the `trace!` fast path is one load, no borrow.
+    static LIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install `collector` as this thread's event sink. Fails if one is
+/// already installed (take it first).
+pub fn install(collector: Collector) -> Result<(), TraceError> {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if slot.is_some() {
+            return Err(TraceError::AlreadyInstalled);
+        }
+        LIVE.with(|l| l.set(collector.enabled));
+        *slot = Some(collector);
+        Ok(())
+    })
+}
+
+/// Remove and return this thread's collector, if any.
+pub fn take() -> Option<Collector> {
+    LIVE.with(|l| l.set(false));
+    COLLECTOR.with(|c| c.borrow_mut().take())
+}
+
+/// Fast check used by [`trace!`](crate::trace): true only while an
+/// enabled collector is installed on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    LIVE.with(|l| l.get())
+}
+
+/// Emit one event into the installed collector (no-op without one).
+/// Prefer [`trace!`](crate::trace), which skips argument evaluation when
+/// tracing is off.
+pub fn emit(at: Ns, event: Event) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.record(at, event);
+        }
+    });
+}
+
+/// Run `f` against the installed collector, if any.
+pub fn with_collector<R>(f: impl FnOnce(&Collector) -> R) -> Option<R> {
+    COLLECTOR.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Emit a typed event if (and only if) an enabled collector is installed
+/// on this thread. The variant expression is written without the
+/// `Event::` prefix and is **not evaluated** when tracing is off:
+///
+/// ```
+/// daos_trace::trace!(1_000, RegionSplit { before: 10, after: 20 });
+/// ```
+#[macro_export]
+macro_rules! trace {
+    ($at:expr, $($event:tt)+) => {
+        if $crate::enabled() {
+            $crate::emit($at, $crate::Event::$($event)+);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_zero_capacity() {
+        assert!(matches!(
+            Collector::builder().ring_capacity(0).build(),
+            Err(TraceError::InvalidCapacity(0))
+        ));
+    }
+
+    #[test]
+    fn install_take_cycle() {
+        assert!(take().is_none());
+        install(Collector::builder().build().unwrap()).unwrap();
+        assert!(enabled());
+        let err = install(Collector::builder().build().unwrap());
+        assert!(matches!(err, Err(TraceError::AlreadyInstalled)));
+        let c = take().expect("collector back");
+        assert!(!enabled());
+        assert!(c.ring().is_empty());
+    }
+
+    #[test]
+    fn trace_macro_records_and_mirrors() {
+        install(Collector::builder().ring_capacity(4).build().unwrap()).unwrap();
+        crate::trace!(5, SamplingTick { checks: 12, nr_regions: 6, work_ns: 480 });
+        crate::trace!(6, SamplingTick { checks: 20, nr_regions: 6, work_ns: 800 });
+        let c = take().unwrap();
+        assert_eq!(c.ring().len(), 2);
+        let h = c.registry().hist(keys::MONITOR_CHECKS_PER_TICK).unwrap();
+        assert_eq!((h.count(), h.sum(), h.max()), (2, 32, 20));
+        assert_eq!(c.registry().counter(keys::MONITOR_WORK_NS), 1280);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        install(Collector::builder().enabled(false).build().unwrap()).unwrap();
+        assert!(!enabled(), "disabled collector must not arm the fast path");
+        let mut evaluated = false;
+        crate::trace!(1, PageFault { pid: 1, addr: { evaluated = true; 0x1000 }, major: false });
+        let c = take().unwrap();
+        assert!(!evaluated, "event arguments must not be evaluated when tracing is off");
+        assert_eq!(c.ring().len(), 0);
+        assert_eq!(c.ring().dropped(), 0);
+        assert!(c.registry().is_empty(), "zero registry mutations on the disabled path");
+    }
+}

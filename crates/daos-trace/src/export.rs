@@ -1,0 +1,89 @@
+//! JSONL export/import of event logs, built on `daos_util::json`. One
+//! `TimedEvent` object per line; `#`-prefixed header lines carry run
+//! metadata and are skipped on re-parse (the `parse_lines` convention
+//! shared with record files).
+
+use crate::collector::Collector;
+use crate::event::TimedEvent;
+use crate::TraceError;
+use daos_util::json::{parse_lines, FromJson, ToJson};
+
+/// Encode events as JSONL, one object per line (trailing newline).
+pub fn events_to_jsonl<'a>(events: impl IntoIterator<Item = &'a TimedEvent>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json().to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode a JSONL event log, skipping blank and `#` comment lines.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<TimedEvent>, TraceError> {
+    let values = parse_lines(text)?;
+    values
+        .iter()
+        .map(|v| TimedEvent::from_json(v).map_err(TraceError::from))
+        .collect()
+}
+
+/// Render a collector's full state as a self-describing JSONL document:
+/// a `#` header with ring occupancy and drop count, the event stream,
+/// and a final `#`-prefixed metrics snapshot. The whole document feeds
+/// back through [`events_from_jsonl`] unchanged.
+pub fn export_collector(c: &Collector) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# daos-trace v1: {} events, {} dropped (ring capacity {})\n",
+        c.ring().len(),
+        c.ring().dropped(),
+        c.ring().capacity(),
+    ));
+    out.push_str(&events_to_jsonl(c.ring().iter()));
+    out.push_str(&format!("# metrics: {}\n", c.registry().to_json().to_string_compact()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ActionTag, Event};
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent { at: 0, event: Event::PageFault { pid: 1, addr: 0x7f00_0000, major: true } },
+            TimedEvent { at: 100, event: Event::SamplingTick { checks: 40, nr_regions: 20, work_ns: 1600 } },
+            TimedEvent {
+                at: 200,
+                event: Event::SchemeApply { scheme: 0, action: ActionTag::Pageout, bytes: 1 << 21 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = sample_events();
+        let text = events_to_jsonl(&events);
+        assert_eq!(text.lines().count(), 3);
+        let back = events_from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn export_document_reparses() {
+        let mut c = Collector::builder().ring_capacity(16).build().unwrap();
+        for e in sample_events() {
+            c.record(e.at, e.event);
+        }
+        let doc = export_collector(&c);
+        assert!(doc.starts_with("# daos-trace v1: 3 events"));
+        let back = events_from_jsonl(&doc).unwrap();
+        assert_eq!(back, c.events(), "header/metrics comments must not disturb re-parse");
+    }
+
+    #[test]
+    fn bad_line_is_a_typed_error() {
+        let err = events_from_jsonl("{\"at\":1,\"event\":{\"Nope\":{}}}\n").unwrap_err();
+        assert!(err.to_string().contains("unknown event"));
+    }
+}

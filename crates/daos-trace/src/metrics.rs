@@ -1,0 +1,257 @@
+//! The metrics registry: named counters (monotonic `u64`), gauges
+//! (last-write-wins `f64`), and log2-bucketed histograms. The registry is
+//! the single source of truth the stats structs (`OverheadStats`,
+//! `SchemeStats`) re-derive from when a collector is installed.
+
+use daos_util::json::{Json, ToJson};
+use std::collections::BTreeMap;
+
+/// Log2-bucketed histogram of `u64` samples. Bucket `0` holds zeros;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Exact `count`, `sum`,
+/// `min` and `max` are kept alongside the buckets so derived stats (mean,
+/// peak) do not suffer bucket quantisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for `v`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(bucket_index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect()
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("count".into(), self.count.to_json()),
+            ("sum".into(), self.sum.to_json()),
+            ("min".into(), self.min().to_json()),
+            ("max".into(), self.max.to_json()),
+            ("buckets".into(), self.nonzero_buckets().to_json()),
+        ])
+    }
+}
+
+/// Named metrics, keyed by dotted-path strings (`"monitor.work_ns"`).
+/// Keys are created on first write; reads of absent counters return 0.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter `name`.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(n),
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Set the gauge `name`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Record `v` into the histogram `name`.
+    pub fn hist_record(&mut self, name: &str, v: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::default();
+                h.record(v);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Counter value (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever written.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if ever written.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// True when no metric key has ever been written — the pin the
+    /// disabled-collector test relies on.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// All counters, sorted by key.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("counters".into(), self.counters.to_json()),
+            ("gauges".into(), self.gauges.to_json()),
+            ("histograms".into(), self.hists.to_json()),
+        ])
+    }
+}
+
+/// Well-known registry keys written by the collector's event mirror.
+/// `OverheadStats::from_registry` / `SchemeStats::from_registry` read
+/// these — keep them in one place so producer and consumer cannot drift.
+pub mod keys {
+    /// Histogram of young-bit checks per sampling tick (count = ticks,
+    /// sum = total checks, max = the Fig. 7 bound witness).
+    pub const MONITOR_CHECKS_PER_TICK: &str = "monitor.checks_per_tick";
+    /// Total monitor kernel work in virtual ns.
+    pub const MONITOR_WORK_NS: &str = "monitor.work_ns";
+    /// Aggregation windows closed.
+    pub const MONITOR_AGGREGATIONS: &str = "monitor.aggregations";
+    /// Adaptive split passes that changed the region count.
+    pub const MONITOR_SPLITS: &str = "monitor.splits";
+    /// Merge passes that changed the region count.
+    pub const MONITOR_MERGES: &str = "monitor.merges";
+    /// Watermark activation flips across all schemes.
+    pub const SCHEMES_WMARK_TRANSITIONS: &str = "schemes.watermark_transitions";
+
+    /// Per-scheme counter key, e.g. `scheme.0.nr_applied`.
+    pub fn scheme(idx: u32, field: &str) -> String {
+        format!("scheme.{idx}.{field}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_keeps_exact_extremes() {
+        let mut h = Histogram::default();
+        for v in [5, 0, 1000, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1008);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (2, 1), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn registry_defaults_and_writes() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.counter("absent"), 0);
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", 1.5);
+        r.hist_record("h", 9);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.hist("h").unwrap().count(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn scheme_key_shape() {
+        assert_eq!(keys::scheme(2, "nr_tried"), "scheme.2.nr_tried");
+    }
+}

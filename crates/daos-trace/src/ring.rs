@@ -1,0 +1,94 @@
+//! Fixed-capacity event ring. When full, the oldest event is overwritten
+//! and a drop counter is bumped — tracing never blocks or grows without
+//! bound, matching the kernel tracepoint ring-buffer contract.
+
+use crate::event::TimedEvent;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of [`TimedEvent`]s with an overwrite-oldest policy.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `capacity` events (`capacity` ≥ 1 is
+    /// enforced by [`crate::CollectorBuilder::build`]).
+    pub fn new(capacity: usize) -> Self {
+        Ring { buf: VecDeque::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ev: TimedEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copy out the surviving events, oldest first.
+    pub fn to_vec(&self) -> Vec<TimedEvent> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(at: u64) -> TimedEvent {
+        TimedEvent { at, event: Event::RegionSplit { before: at, after: at + 1 } }
+    }
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut r = Ring::new(3);
+        for at in 0..5 {
+            r.push(ev(at));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ats: Vec<u64> = r.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest events are the ones evicted");
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = Ring::new(8);
+        for at in 0..5 {
+            r.push(ev(at));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), 8);
+    }
+}

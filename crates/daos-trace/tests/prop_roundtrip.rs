@@ -1,0 +1,81 @@
+//! Property test: every trace event survives a JSONL encode/decode
+//! round-trip exactly — including full-width `u64` addresses (the
+//! reason `daos_util::json` keeps a dedicated unsigned lane).
+
+use daos_trace::{events_from_jsonl, events_to_jsonl, ActionTag, Event, SamplePhase, TimedEvent};
+use daos_util::prop::vec_of;
+use daos_util::{prop_assert_eq, proptest};
+
+const ACTIONS: [ActionTag; 8] = [
+    ActionTag::Stat,
+    ActionTag::Pageout,
+    ActionTag::Hugepage,
+    ActionTag::Nohugepage,
+    ActionTag::Cold,
+    ActionTag::Willneed,
+    ActionTag::LruPrio,
+    ActionTag::LruDeprio,
+];
+
+/// Deterministically build one of the 17 event variants from raw draws.
+fn build_event(kind: usize, a: u64, b: u64) -> Event {
+    let pid = (a % 10_000) as u32;
+    let scheme = (a % 8) as u32;
+    let action = ACTIONS[(b % 8) as usize];
+    let flag = a & 1 == 0;
+    let phase = if flag { SamplePhase::Global } else { SamplePhase::Local };
+    let x = a as f64 * 1e-3;
+    let y = b as f64 * 1e-3;
+    match kind {
+        0 => Event::PageFault { pid, addr: b, major: flag },
+        1 => Event::Reclaim { freed_pages: a, scanned: b, cost_ns: a ^ b },
+        2 => Event::SwapOut { pid, addr: b },
+        3 => Event::SwapIn { pid, addr: b },
+        4 => Event::ThpPromote { pid, chunks: b },
+        5 => Event::ThpDemote { pid, freed_bytes: b },
+        6 => Event::SamplingTick { checks: a, nr_regions: b, work_ns: a.wrapping_mul(40) },
+        7 => Event::RegionSplit { before: a, after: b },
+        8 => Event::RegionMerge { before: a, after: b },
+        9 => Event::Aggregation { nr_regions: a, window_ns: b },
+        10 => Event::SchemeMatch { scheme, bytes: b },
+        11 => Event::SchemeApply { scheme, action, bytes: b },
+        12 => Event::QuotaThrottle { scheme, skipped_bytes: b },
+        13 => Event::WatermarkTransition { scheme, active: flag, metric_permille: a % 1001 },
+        14 => Event::TunerSample { x, score: y, phase },
+        15 => Event::TunerRefit { degree: a % 6, nr_samples: b % 1000 },
+        _ => Event::TunerStep { best_x: x, best_score: y },
+    }
+}
+
+proptest! {
+    cases = 256;
+
+    fn single_event_jsonl_roundtrip(
+        kind in 0usize..17,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        at in 0u64..u64::MAX,
+    ) {
+        let te = TimedEvent { at, event: build_event(kind, a, b) };
+        let text = events_to_jsonl(std::slice::from_ref(&te));
+        let back = events_from_jsonl(&text).map_err(|e| {
+            daos_util::prop::TestCaseError::fail(format!("decode failed: {e}\n{text}"))
+        })?;
+        prop_assert_eq!(back, vec![te]);
+    }
+
+    fn event_stream_jsonl_roundtrip(
+        batch in vec_of((0usize..17, 0u64..u64::MAX, 0u64..u64::MAX), 0usize..24),
+    ) {
+        let events: Vec<TimedEvent> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, a, b))| TimedEvent { at: i as u64, event: build_event(kind, a, b) })
+            .collect();
+        let text = events_to_jsonl(&events);
+        let back = events_from_jsonl(&text).map_err(|e| {
+            daos_util::prop::TestCaseError::fail(format!("decode failed: {e}"))
+        })?;
+        prop_assert_eq!(back, events);
+    }
+}

@@ -59,9 +59,14 @@ pub fn tune<F: FnMut(f64) -> f64>(cfg: &TunerConfig, mut eval: F) -> TuneResult 
     let (nr_global, nr_local) = Sampler::split_budget(budget);
     let mut sampler = Sampler::new(cfg.range.0, cfg.range.1, cfg.seed);
     let mut samples: Vec<(f64, f64)> = Vec::with_capacity(budget);
+    // Each sample advances the tuner's virtual clock by one unit of work.
+    let mut now: Ns = 0;
 
     for x in sampler.plan_global(nr_global) {
-        samples.push((x, eval(x)));
+        let score = eval(x);
+        now += cfg.unit_work_time;
+        daos_trace::trace!(now, TunerSample { x, score, phase: daos_trace::SamplePhase::Global });
+        samples.push((x, score));
     }
     let best_so_far = samples
         .iter()
@@ -69,11 +74,20 @@ pub fn tune<F: FnMut(f64) -> f64>(cfg: &TunerConfig, mut eval: F) -> TuneResult 
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
     if let Some((bx, _)) = best_so_far {
         for x in sampler.plan_local(bx, nr_local) {
-            samples.push((x, eval(x)));
+            let score = eval(x);
+            now += cfg.unit_work_time;
+            daos_trace::trace!(now, TunerSample {
+                x,
+                score,
+                phase: daos_trace::SamplePhase::Local,
+            });
+            samples.push((x, score));
         }
     }
 
-    let curve = Polynomial::fit(&samples, paper_degree(samples.len()));
+    let degree = paper_degree(samples.len());
+    daos_trace::trace!(now, TunerRefit { degree: degree as u64, nr_samples: samples.len() as u64 });
+    let curve = Polynomial::fit(&samples, degree);
     // Search the fitted curve only over the sampled hull: outside it the
     // polynomial is pure extrapolation and its peaks are artefacts.
     let (hull_lo, hull_hi) = samples.iter().fold(
@@ -87,6 +101,7 @@ pub fn tune<F: FnMut(f64) -> f64>(cfg: &TunerConfig, mut eval: F) -> TuneResult 
         }
         _ => best_so_far.unwrap_or((cfg.range.0, f64::NEG_INFINITY)),
     };
+    daos_trace::trace!(now, TunerStep { best_x, best_score });
     TuneResult { samples, curve, best_x, best_score, nr_global }
 }
 
@@ -188,6 +203,20 @@ mod tests {
         let result = tune(&cfg(1), |x| x * 2.0);
         assert_eq!(result.samples.len(), 1);
         assert!(result.best_score.is_finite());
+    }
+
+    #[test]
+    fn tuner_events_reach_collector() {
+        daos_trace::install(daos_trace::Collector::builder().build().unwrap()).unwrap();
+        let result = tune(&cfg(10), |x| x);
+        let collector = daos_trace::take().unwrap();
+        let names: Vec<&str> =
+            collector.events().iter().map(|te| te.event.name()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "TunerSample").count(), 10);
+        assert!(names.contains(&"TunerRefit"));
+        assert!(names.contains(&"TunerStep"));
+        assert_eq!(collector.registry().gauge("tuner.best_x"), Some(result.best_x));
+        assert_eq!(collector.registry().counter("tuner.samples"), 10);
     }
 
     #[test]

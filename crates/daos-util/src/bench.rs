@@ -7,6 +7,7 @@
 //! min/max for a spread estimate.
 
 use std::hint::black_box;
+use std::io::Write;
 use std::time::Instant;
 
 /// One benchmark's timing summary, all in ns/iteration.
@@ -32,27 +33,38 @@ impl Timing {
     }
 }
 
-/// A named group of benchmarks, printed as it runs.
+/// A named group of benchmarks. Silent by default — attach a sink with
+/// [`Harness::progress_to`] to stream results as they complete (bench
+/// binaries pass stdout; library users and tests stay quiet).
 pub struct Harness {
     group: String,
     samples: usize,
     /// Target wall time per sample, used to auto-size iteration counts.
     target_sample_ns: u64,
     results: Vec<(String, Timing)>,
+    sink: Box<dyn Write>,
 }
 
 impl Harness {
-    /// New harness printing under `group`, `samples` timed samples per
-    /// benchmark (median-of-`samples`).
+    /// New harness for `group`, `samples` timed samples per benchmark
+    /// (median-of-`samples`). Progress is discarded until a sink is
+    /// attached with [`Harness::progress_to`].
     pub fn new(group: &str, samples: usize) -> Self {
         assert!(samples >= 1);
-        println!("# bench group: {group}");
         Self {
             group: group.to_string(),
             samples,
             target_sample_ns: 20_000_000, // 20 ms per sample
             results: Vec::new(),
+            sink: Box::new(std::io::sink()),
         }
+    }
+
+    /// Stream per-benchmark results to `w` as they complete.
+    pub fn progress_to(mut self, mut w: Box<dyn Write>) -> Self {
+        let _ = writeln!(w, "# bench group: {}", self.group);
+        self.sink = w;
+        self
     }
 
     /// Lower the per-sample wall-time target (for expensive setups).
@@ -97,7 +109,7 @@ impl Harness {
             max_ns: *per_iter.last().unwrap(),
             iters,
         };
-        println!("{}/{name}: {}", self.group, timing.render());
+        let _ = writeln!(self.sink, "{}/{name}: {}", self.group, timing.render());
         self.results.push((name.to_string(), timing));
         timing
     }
@@ -132,7 +144,7 @@ impl Harness {
             max_ns: *per_iter.last().unwrap(),
             iters,
         };
-        println!("{}/{name}: {}", self.group, timing.render());
+        let _ = writeln!(self.sink, "{}/{name}: {}", self.group, timing.render());
         self.results.push((name.to_string(), timing));
         timing
     }

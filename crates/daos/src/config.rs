@@ -5,7 +5,9 @@ use daos_mm::clock::{ms, sec, Ns};
 use daos_mm::swap::SwapConfig;
 use daos_mm::vma::ThpMode;
 use daos_monitor::MonitorAttrs;
-use daos_schemes::{parse_schemes, Quota, Scheme, Watermarks};
+use daos_schemes::{parse_schemes, Quota, Scheme, SchemeConfig, Watermarks};
+
+use crate::error::DaosError;
 
 /// Which monitoring primitive a configuration runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,18 +30,15 @@ pub struct RunConfig {
     pub khugepaged: bool,
     /// Monitoring, if any.
     pub monitor: Option<MonitorKind>,
-    /// Schemes for the engine (requires monitoring).
-    pub schemes: Vec<Scheme>,
+    /// Schemes for the engine, each with its quota / watermarks /
+    /// filters attached (requires monitoring).
+    pub schemes: Vec<SchemeConfig>,
     /// Whether to keep the full aggregation record (Fig. 6 heatmaps).
     pub record: bool,
     /// Swap device.
     pub swap: SwapConfig,
     /// Monitoring attributes.
     pub attrs: MonitorAttrs,
-    /// Per-scheme quotas: `(scheme index, quota)`.
-    pub quotas: Vec<(usize, Quota)>,
-    /// Per-scheme watermarks: `(scheme index, watermarks)`.
-    pub watermarks: Vec<(usize, Watermarks)>,
 }
 
 impl RunConfig {
@@ -53,9 +52,13 @@ impl RunConfig {
             record: false,
             swap: SwapConfig::paper_zram(),
             attrs: MonitorAttrs::paper_defaults(),
-            quotas: Vec::new(),
-            watermarks: Vec::new(),
         }
+    }
+
+    /// Start building a configuration from the *baseline* (everything
+    /// off); [`RunConfigBuilder::build`] validates the combination.
+    pub fn builder(name: &str) -> RunConfigBuilder {
+        RunConfigBuilder { config: Self::base(name) }
     }
 
     /// *baseline*: DAOS disabled, THP off, zram swap.
@@ -92,7 +95,7 @@ impl RunConfig {
         Self {
             thp: ThpMode::Madvise,
             monitor: Some(MonitorKind::Vaddr),
-            schemes,
+            schemes: schemes.into_iter().map(SchemeConfig::from).collect(),
             ..Self::base("ethp")
         }
     }
@@ -114,7 +117,7 @@ impl RunConfig {
         };
         Self {
             monitor: Some(MonitorKind::Vaddr),
-            schemes: vec![scheme],
+            schemes: vec![scheme.into()],
             ..Self::base("prcl")
         }
     }
@@ -127,9 +130,14 @@ impl RunConfig {
     pub fn damon_reclaim() -> Self {
         let mut cfg = Self::prcl();
         cfg.name = "damon_reclaim".into();
-        // 8 MiB per 500 ms reclaim bandwidth cap.
-        cfg.quotas.push((0, Quota { sz_limit: 8 << 20, reset_interval: ms(500) }));
-        cfg.watermarks.push((0, Watermarks::reclaim_defaults()));
+        let scheme = cfg.schemes.remove(0).scheme;
+        cfg.schemes = vec![scheme
+            .configure()
+            // 8 MiB per 500 ms reclaim bandwidth cap.
+            .quota(Quota { sz_limit: 8 << 20, reset_interval: ms(500) })
+            .watermarks(Watermarks::reclaim_defaults())
+            .build()
+            .expect("static damon_reclaim config is valid")];
         cfg
     }
 
@@ -144,6 +152,70 @@ impl RunConfig {
             Self::ethp(),
             Self::prcl(),
         ]
+    }
+}
+
+/// Builder for [`RunConfig`]; obtained via [`RunConfig::builder`].
+///
+/// Starts from the *baseline* configuration (DAOS off, THP off, zram
+/// swap, paper monitoring attributes) and validates the combination at
+/// [`build`](Self::build): the attributes must be sane, and schemes
+/// need a monitor to feed them aggregations.
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    config: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// THP mode for the workload's mappings.
+    pub fn thp(mut self, mode: ThpMode) -> Self {
+        self.config.thp = mode;
+        self
+    }
+
+    /// Run the aggressive background promoter (Linux-original THP).
+    pub fn khugepaged(mut self, on: bool) -> Self {
+        self.config.khugepaged = on;
+        self
+    }
+
+    /// Enable monitoring with the given primitive.
+    pub fn monitor(mut self, kind: MonitorKind) -> Self {
+        self.config.monitor = Some(kind);
+        self
+    }
+
+    /// Append a scheme (a bare [`Scheme`] or a full [`SchemeConfig`]).
+    pub fn scheme(mut self, scheme: impl Into<SchemeConfig>) -> Self {
+        self.config.schemes.push(scheme.into());
+        self
+    }
+
+    /// Keep the full aggregation record.
+    pub fn record(mut self, on: bool) -> Self {
+        self.config.record = on;
+        self
+    }
+
+    /// Swap device.
+    pub fn swap(mut self, swap: SwapConfig) -> Self {
+        self.config.swap = swap;
+        self
+    }
+
+    /// Monitoring attributes.
+    pub fn attrs(mut self, attrs: MonitorAttrs) -> Self {
+        self.config.attrs = attrs;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<RunConfig, DaosError> {
+        self.config.attrs.validate()?;
+        if !self.config.schemes.is_empty() && self.config.monitor.is_none() {
+            return Err(DaosError::SchemesWithoutMonitor);
+        }
+        Ok(self.config)
     }
 }
 
@@ -188,8 +260,8 @@ mod tests {
     fn ethp_has_promotion_and_demotion() {
         let c = RunConfig::ethp();
         assert_eq!(c.schemes.len(), 2);
-        assert_eq!(c.schemes[0].action, Action::Hugepage);
-        assert_eq!(c.schemes[1].action, Action::Nohugepage);
+        assert_eq!(c.schemes[0].scheme.action, Action::Hugepage);
+        assert_eq!(c.schemes[1].scheme.action, Action::Nohugepage);
         assert_eq!(c.thp, ThpMode::Madvise);
         assert!(!c.khugepaged);
     }
@@ -198,21 +270,49 @@ mod tests {
     fn damon_reclaim_has_quota_and_watermarks() {
         let c = RunConfig::damon_reclaim();
         assert_eq!(c.schemes.len(), 1);
-        assert_eq!(c.schemes[0].action, Action::Pageout);
-        assert_eq!(c.quotas.len(), 1);
-        assert_eq!(c.quotas[0].0, 0);
-        assert_eq!(c.watermarks.len(), 1);
-        assert!(c.watermarks[0].1.validate().is_ok());
+        assert_eq!(c.schemes[0].scheme.action, Action::Pageout);
+        let quota = c.schemes[0].quota.expect("bandwidth cap attached");
+        assert_eq!(quota.sz_limit, 8 << 20);
+        let wm = c.schemes[0].watermarks.expect("watermarks attached");
+        assert!(wm.validate().is_ok());
     }
 
     #[test]
     fn prcl_min_age_is_tunable() {
         let c = RunConfig::prcl_with_min_age(sec(17));
         assert_eq!(c.schemes.len(), 1);
-        assert_eq!(c.schemes[0].action, Action::Pageout);
+        assert_eq!(c.schemes[0].scheme.action, Action::Pageout);
         assert_eq!(
-            c.schemes[0].min_age,
+            c.schemes[0].scheme.min_age,
             daos_schemes::Bound::Val(daos_schemes::AgeVal::Time(sec(17)))
         );
+    }
+
+    #[test]
+    fn builder_assembles_and_validates() {
+        let scheme = daos_schemes::parse_scheme_line("min max min min 2m max pageout").unwrap();
+        let c = RunConfig::builder("custom")
+            .monitor(MonitorKind::Vaddr)
+            .scheme(scheme)
+            .record(true)
+            .attrs(MonitorAttrs::builder().max_nr_regions(100).build().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(c.name, "custom");
+        assert_eq!(c.schemes.len(), 1);
+        assert!(c.record);
+        assert_eq!(c.attrs.max_nr_regions, 100);
+        // Defaults flow from baseline.
+        assert_eq!(c.thp, ThpMode::Never);
+
+        // Schemes without a monitor are rejected.
+        let err = RunConfig::builder("broken").scheme(scheme).build().unwrap_err();
+        assert!(matches!(err, crate::error::DaosError::SchemesWithoutMonitor));
+
+        // Invalid attributes are rejected with the monitor layer's error.
+        let mut bad = MonitorAttrs::paper_defaults();
+        bad.max_nr_regions = 1;
+        let err = RunConfig::builder("broken").attrs(bad).build().unwrap_err();
+        assert!(matches!(err, crate::error::DaosError::Attrs(_)));
     }
 }

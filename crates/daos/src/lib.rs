@@ -27,15 +27,19 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod heatmap;
 pub mod metrics;
 pub mod multi;
 pub mod recordio;
 pub mod runner;
 
-pub use config::{MonitorKind, RunConfig};
+pub use config::{MonitorKind, RunConfig, RunConfigBuilder};
+pub use error::DaosError;
 pub use heatmap::{biggest_active_span, Heatmap};
 pub use metrics::{score_inputs, score_vs_baseline, Normalized};
 pub use multi::{MultiMonitor, TargetAggregation};
-pub use recordio::{record_from_csv, record_to_csv, WssReport};
+pub use recordio::{
+    record_from_csv, record_from_jsonl, record_to_csv, record_to_jsonl, RecordError, WssReport,
+};
 pub use runner::{run, RunResult};

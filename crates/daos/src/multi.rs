@@ -106,7 +106,7 @@ mod tests {
         let r1 = sys.mmap(p1, 8 << 20, ThpMode::Never).unwrap();
         let r2 = sys.mmap(p2, 8 << 20, ThpMode::Never).unwrap();
 
-        let attrs = MonitorAttrs { max_nr_regions: 50, ..MonitorAttrs::paper_defaults() };
+        let attrs = MonitorAttrs::builder().max_nr_regions(50).build().unwrap();
         let mut mon = MultiMonitor::new(attrs, &[p1, p2], &sys, 0, 7);
         assert_eq!(mon.nr_targets(), 2);
 

@@ -7,10 +7,60 @@
 
 use daos_mm::addr::AddrRange;
 use daos_monitor::{Aggregation, MonitorRecord, RegionInfo};
-use daos_util::json::{parse_lines, FromJson, ToJson};
+use daos_util::json::{parse_lines, FromJson, JsonError, ToJson};
 
 /// Header line of the record CSV format.
 pub const RECORD_HEADER: &str = "at_ns,start,end,nr_accesses,age,max_nr_accesses,aggr_ns";
+
+/// Why a record file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// A CSV line does not have exactly 7 comma-separated fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// How many fields were found.
+        got: usize,
+    },
+    /// A CSV field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A JSONL line is not a valid aggregation object.
+    Json(JsonError),
+}
+
+impl core::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecordError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 7 fields, got {got}")
+            }
+            RecordError::BadNumber { line, token } => {
+                write!(f, "line {line}: bad number '{token}'")
+            }
+            RecordError::Json(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for RecordError {
+    fn from(e: JsonError) -> Self {
+        RecordError::Json(e)
+    }
+}
 
 /// Serialise a record to CSV.
 pub fn record_to_csv(record: &MonitorRecord) -> String {
@@ -35,7 +85,7 @@ pub fn record_to_csv(record: &MonitorRecord) -> String {
 }
 
 /// Parse a record back from CSV (inverse of [`record_to_csv`]).
-pub fn record_from_csv(text: &str) -> Result<MonitorRecord, String> {
+pub fn record_from_csv(text: &str) -> Result<MonitorRecord, RecordError> {
     let mut record = MonitorRecord::new();
     let mut current: Option<Aggregation> = None;
     for (ln, line) in text.lines().enumerate() {
@@ -45,12 +95,13 @@ pub fn record_from_csv(text: &str) -> Result<MonitorRecord, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 7 {
-            return Err(format!("line {}: expected 7 fields, got {}", ln + 1, fields.len()));
+            return Err(RecordError::FieldCount { line: ln + 1, got: fields.len() });
         }
-        let parse = |i: usize| -> Result<u64, String> {
-            fields[i]
-                .parse::<u64>()
-                .map_err(|_| format!("line {}: bad number '{}'", ln + 1, fields[i]))
+        let parse = |i: usize| -> Result<u64, RecordError> {
+            fields[i].parse::<u64>().map_err(|_| RecordError::BadNumber {
+                line: ln + 1,
+                token: fields[i].to_string(),
+            })
         };
         let at = parse(0)?;
         let info = RegionInfo {
@@ -95,10 +146,10 @@ pub fn record_to_jsonl(record: &MonitorRecord) -> String {
 }
 
 /// Parse a record back from JSONL (inverse of [`record_to_jsonl`]).
-pub fn record_from_jsonl(text: &str) -> Result<MonitorRecord, String> {
+pub fn record_from_jsonl(text: &str) -> Result<MonitorRecord, RecordError> {
     let mut record = MonitorRecord::new();
-    for v in parse_lines(text).map_err(|e| e.to_string())? {
-        record.push(Aggregation::from_json(&v).map_err(|e| e.to_string())?);
+    for v in parse_lines(text)? {
+        record.push(Aggregation::from_json(&v)?);
     }
     Ok(record)
 }

@@ -116,14 +116,7 @@ pub fn run(
             Some(MonitorKind::Paddr) => SchemeTarget::Physical,
             _ => SchemeTarget::Virtual(pid),
         };
-        let mut engine = SchemesEngine::new(target, config.schemes.clone());
-        for (idx, quota) in &config.quotas {
-            engine.set_quota(*idx, *quota, sys.now());
-        }
-        for (idx, wmarks) in &config.watermarks {
-            engine.set_watermarks(*idx, *wmarks);
-        }
-        engine
+        SchemesEngine::new(target, config.schemes.clone())
     });
     let mut record = config.record.then(MonitorRecord::new);
     let mut sink: Vec<Aggregation> = Vec::new();
@@ -325,10 +318,11 @@ mod tests {
         };
         let prcl = run(&machine(), &RunConfig::prcl_with_min_age(ms(200)), &spec, 3).unwrap();
         let mut reclaim_cfg = RunConfig::damon_reclaim();
-        reclaim_cfg.schemes = RunConfig::prcl_with_min_age(ms(200)).schemes;
+        reclaim_cfg.schemes[0].scheme =
+            RunConfig::prcl_with_min_age(ms(200)).schemes[0].scheme;
         // Disable the watermarks so only the quota differs (the test
         // machine has no memory pressure).
-        reclaim_cfg.watermarks.clear();
+        reclaim_cfg.schemes[0].watermarks = None;
         let reclaim = run(&machine(), &reclaim_cfg, &spec, 3).unwrap();
         assert!(
             reclaim.avg_rss > prcl.avg_rss + (4 << 20),

@@ -48,7 +48,7 @@ fn main() {
     );
     println!("paper (Fig. 7, ocean_ncp): preserves 46% of the gain, removes 80% of the bloat");
     println!("\nthe whole optimisation is these 2 scheme lines (Listing 3):");
-    for s in RunConfig::ethp().schemes {
-        println!("  {s}");
+    for c in RunConfig::ethp().schemes {
+        println!("  {}", c.scheme);
     }
 }

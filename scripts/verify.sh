@@ -35,6 +35,24 @@ done
 [ "$fail" -eq 0 ] || { echo "FAIL: non-path dependencies present"; exit 1; }
 echo "ok"
 
+echo "== guard: no printing from library code =="
+# Library crates report through daos-trace (events + metrics) or return
+# values; only the daos-cli binary and the daos-bench bin/ report
+# binaries may talk to stdout/stderr. Doc comments are exempt.
+bad=$(grep -rn 'print!\|println!\|eprint!\|eprintln!' crates/*/src \
+        --include='*.rs' \
+        | grep -v '^crates/daos-cli/' \
+        | grep -v '/src/bin/' \
+        | grep -v '^[^:]*:[0-9]*:[[:space:]]*//' \
+        || true)
+if [ -n "$bad" ]; then
+    echo "library code printing directly (use daos-trace or return values):"
+    echo "$bad"
+    echo "FAIL: stdout/stderr use outside daos-cli and bench binaries"
+    exit 1
+fi
+echo "ok"
+
 echo "== offline release build =="
 cargo build --release --offline
 
@@ -43,5 +61,8 @@ cargo test -q --offline --workspace
 
 echo "== offline bench binaries compile =="
 cargo bench --offline --no-run
+
+echo "== telemetry: JSONL replay re-derives the Fig. 7 bound =="
+cargo test -q --offline --test trace_replay
 
 echo "verify: OK"

@@ -30,6 +30,7 @@
 
 pub use daos;
 pub use daos_mm as mm;
+pub use daos_trace as trace;
 pub use daos_monitor as monitor;
 pub use daos_schemes as schemes;
 pub use daos_tuner as tuner;
@@ -38,9 +39,10 @@ pub use daos_workloads as workloads;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use daos::{
-        biggest_active_span, run, score_vs_baseline, Heatmap, MonitorKind, Normalized,
-        RunConfig, RunResult,
+        biggest_active_span, run, score_vs_baseline, DaosError, Heatmap, MonitorKind,
+        Normalized, RunConfig, RunResult,
     };
+    pub use daos_trace::{Collector, Event, Registry, TimedEvent};
     pub use daos_mm::{
         AccessBatch, AddrRange, MachineProfile, MemorySystem, SwapConfig, ThpMode,
     };
@@ -49,7 +51,8 @@ pub mod prelude {
         VaddrPrimitives,
     };
     pub use daos_schemes::{
-        parse_scheme_line, parse_schemes, Action, Scheme, SchemeTarget, SchemesEngine,
+        parse_scheme_line, parse_schemes, Action, Scheme, SchemeConfig, SchemeTarget,
+        SchemesEngine,
     };
     pub use daos_tuner::{tune, classify, DefaultScore, ScoreFn, ScoreInputs, TunerConfig};
     pub use daos_workloads::{

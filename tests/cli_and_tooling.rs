@@ -93,11 +93,17 @@ fn watermarked_reclaim_only_fires_under_pressure() {
     }
 
     let scheme = parse_scheme_line("min max min min min max pageout").unwrap();
-    let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
-    engine.set_watermarks(
-        0,
-        Watermarks { metric: WatermarkMetric::FreeMemPermille, high: 600, mid: 500, low: 50 },
-    );
+    let config = scheme
+        .configure()
+        .watermarks(Watermarks {
+            metric: WatermarkMetric::FreeMemPermille,
+            high: 600,
+            mid: 500,
+            low: 50,
+        })
+        .build()
+        .unwrap();
+    let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
     let agg = daos_monitor::Aggregation {
         at: 0,
         regions: vec![daos_monitor::RegionInfo {

@@ -84,10 +84,48 @@ pub fn record(args: &Args) -> Result<(), DaosError> {
     Ok(())
 }
 
+/// True when `text` looks like a trace export (JSONL, possibly with the
+/// `# daos-trace` header) rather than a record CSV.
+fn looks_like_trace(text: &str) -> bool {
+    let head = text.trim_start();
+    head.starts_with('#') || head.starts_with('{')
+}
+
+/// Load a record from `args.pos(0)` — either a record CSV (from
+/// `daos record`) or a trace export (from `daos trace`), sniffed by
+/// content so every report subcommand accepts both.
 fn load_record(args: &Args) -> Result<daos_monitor::MonitorRecord, DaosError> {
     let path = args.pos(0).ok_or_else(|| DaosError::usage("missing record file argument"))?;
     let text = fs::read_to_string(path).map_err(|e| DaosError::io(path, e))?;
-    Ok(record_from_csv(&text)?)
+    if looks_like_trace(&text) {
+        let doc = daos_trace::parse_export(&text)?;
+        warn_if_truncated(&doc);
+        Ok(daos_report::record_from_doc(&doc))
+    } else {
+        Ok(record_from_csv(&text)?)
+    }
+}
+
+/// Load a trace document from `args.pos(0)` (trace-only subcommands).
+fn load_doc(args: &Args) -> Result<daos_trace::TraceDoc, DaosError> {
+    let path = args.pos(0).ok_or_else(|| DaosError::usage("missing trace file argument"))?;
+    let text = fs::read_to_string(path).map_err(|e| DaosError::io(path, e))?;
+    if !looks_like_trace(&text) {
+        return Err(DaosError::usage(format!(
+            "{path} is not a trace export (expected JSONL from `daos trace`)"
+        )));
+    }
+    Ok(daos_trace::parse_export(&text)?)
+}
+
+fn warn_if_truncated(doc: &daos_trace::TraceDoc) {
+    if doc.dropped > 0 {
+        eprintln!(
+            "warning: trace is incomplete — {} events were dropped by a ring of {}; \
+             derived views cover only the surviving window",
+            doc.dropped, doc.ring_capacity
+        );
+    }
 }
 
 /// `daos report heatmap <FILE>`
@@ -99,6 +137,11 @@ pub fn report_heatmap(args: &Args) -> Result<(), DaosError> {
     let cols: usize = args.opt_num("cols", 72)?;
     let hm = Heatmap::from_record(&record, span, cols, rows)
         .ok_or_else(|| DaosError::usage("empty record"))?;
+    if args.flag("json") {
+        use daos_util::json::ToJson;
+        println!("{}", hm.to_json().to_string_compact());
+        return Ok(());
+    }
     print!("{}", hm.render_ascii());
     println!(
         "x: {:.0}..{:.0}s   y: {}..{} MiB",
@@ -110,11 +153,52 @@ pub fn report_heatmap(args: &Args) -> Result<(), DaosError> {
     Ok(())
 }
 
-/// `daos report wss <FILE>`
+/// `daos report wss <FILE>`: the time series when the input is a trace,
+/// the distribution alone for a record CSV (which has no better view).
 pub fn report_wss(args: &Args) -> Result<(), DaosError> {
     let record = load_record(args)?;
-    let wss = WssReport::from_record(&record);
-    print!("{}", wss.render());
+    let tl = daos_report::WssTimeline::from_record(&record);
+    if args.flag("json") {
+        use daos_util::json::ToJson;
+        println!("{}", tl.to_json().to_string_compact());
+        return Ok(());
+    }
+    if args.flag("distribution") {
+        print!("{}", WssReport::from_record(&record).render());
+    } else {
+        print!("{}", tl.render());
+    }
+    Ok(())
+}
+
+/// `daos report summary <TRACE>`
+pub fn report_summary(args: &Args) -> Result<(), DaosError> {
+    let doc = load_doc(args)?;
+    print!("{}", daos_report::Summary::of(&doc).render());
+    Ok(())
+}
+
+/// `daos report schemes <TRACE>`
+pub fn report_schemes(args: &Args) -> Result<(), DaosError> {
+    let doc = load_doc(args)?;
+    warn_if_truncated(&doc);
+    if args.flag("json") {
+        use daos_util::json::ToJson;
+        println!(
+            "{}",
+            daos_report::scheme_timelines(&doc.events).to_json().to_string_compact()
+        );
+        return Ok(());
+    }
+    print!("{}", daos_report::schemes::render_all(&doc));
+    Ok(())
+}
+
+/// `daos report profile <TRACE>`
+pub fn report_profile(args: &Args) -> Result<(), DaosError> {
+    let doc = load_doc(args)?;
+    warn_if_truncated(&doc);
+    print!("{}", daos_report::Profile::of(&doc).render());
     Ok(())
 }
 
@@ -184,6 +268,14 @@ pub fn trace(args: &Args) -> Result<(), DaosError> {
     let result = run_result?;
 
     let jsonl = daos_trace::export_collector(&collector);
+    if collector.ring().dropped() > 0 {
+        eprintln!(
+            "warning: ring overflowed — {} events dropped (capacity {}); \
+             re-run with a larger --ring to keep the full stream",
+            collector.ring().dropped(),
+            collector.ring().capacity()
+        );
+    }
     match args.opt("out") {
         Some(path) => {
             fs::write(path, &jsonl).map_err(|e| DaosError::io(path, e))?;
@@ -401,6 +493,38 @@ mod tests {
 
         let err = trace(&args("parsec3/freqmine --config warp9")).unwrap_err();
         assert!(err.to_string().contains("unknown config"));
+    }
+
+    #[test]
+    fn reports_work_on_a_trace_file() {
+        // Record a trace, then drive every report subcommand from it.
+        let path = std::env::temp_dir().join("daos_cli_report_trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        trace(&args(&format!(
+            "parsec3/freqmine --config prcl --epochs 60 --out {path_str}"
+        )))
+        .unwrap();
+
+        assert!(report_wss(&args(&path_str)).is_ok());
+        assert!(report_wss(&args(&format!("{path_str} --distribution"))).is_ok());
+        assert!(report_heatmap(&args(&format!("{path_str} --rows 6 --cols 20"))).is_ok());
+        assert!(report_heatmap(&args(&format!("{path_str} --json"))).is_ok());
+        assert!(report_summary(&args(&path_str)).is_ok());
+        assert!(report_schemes(&args(&path_str)).is_ok());
+        assert!(report_profile(&args(&path_str)).is_ok());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_only_reports_reject_csv() {
+        let path = std::env::temp_dir().join("daos_cli_not_a_trace.csv");
+        fs::write(&path, daos::RECORD_HEADER).unwrap();
+        let path_str = path.to_str().unwrap().to_string();
+        let err = report_summary(&args(&path_str)).unwrap_err();
+        assert!(err.to_string().contains("not a trace export"), "{err}");
+        let err = report_profile(&args(&path_str)).unwrap_err();
+        assert!(err.to_string().contains("not a trace export"), "{err}");
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -16,9 +16,16 @@ SUBCOMMANDS:
     list                      list the available workload analogs
     record <workload>         monitor a workload, write a record file
         [--machine i3|m5d|z1d] [--paddr] [--seed N] [--out FILE]
-    report heatmap <FILE>     render a record file as an ASCII heatmap
-        [--rows N] [--cols N]
-    report wss <FILE>         working-set-size percentiles of a record
+    report heatmap <FILE>     render a record or trace as an ASCII heatmap
+        [--rows N] [--cols N] [--json]
+    report wss <FILE>         working-set-size series + percentiles of a
+        record or trace [--distribution] [--json]
+    report summary <TRACE>    event counts, drop accounting and metrics
+        integrity of a trace
+    report schemes <TRACE>    per-scheme apply timeline (tried/applied,
+        quota throttling, watermark windows) [--json]
+    report profile <TRACE>    per-phase span latency percentiles and the
+        overhead cross-check
     schemes <workload>        run a workload under a scheme file
         (--schemes-file FILE | --scheme 'LINE') [--machine ...] [--seed N]
     trace <workload>          run with the telemetry collector and emit
@@ -46,13 +53,18 @@ fn main() {
             "record" => commands::record(&Args::parse(raw)?),
             "report" => {
                 if raw.is_empty() {
-                    return Err(DaosError::usage("report needs a kind: heatmap | wss"));
+                    return Err(DaosError::usage(
+                        "report needs a kind: heatmap | wss | summary | schemes | profile",
+                    ));
                 }
                 let kind = raw.remove(0);
                 let args = Args::parse(raw)?;
                 match kind.as_str() {
                     "heatmap" => commands::report_heatmap(&args),
                     "wss" => commands::report_wss(&args),
+                    "summary" => commands::report_summary(&args),
+                    "schemes" => commands::report_schemes(&args),
+                    "profile" => commands::report_profile(&args),
                     other => Err(DaosError::usage(format!("unknown report kind '{other}'"))),
                 }
             }

@@ -113,48 +113,83 @@ impl<P: Primitives> MonitorCtx<P> {
             }
         }
 
-        // Aggregation boundary: merge+age, report, reset, split.
+        // Aggregation boundary: merge+age, report, reset, split. The two
+        // spans decompose the historical `final_regions × 40 ns` charge
+        // (Aggregate covers merge+snapshot+reset over the merged count,
+        // SplitMerge the regions the split added) so their sum equals the
+        // old per-boundary cost exactly.
         if self.next_aggr <= t {
             let before_merge = self.regions.len() as u64;
-            if self.attrs.adaptive {
-                let sz_limit = (self.regions.total_bytes()
-                    / self.attrs.min_nr_regions.max(1) as u64)
-                    .max(PAGE_SIZE);
-                self.regions.merge_with_aging(
-                    self.attrs.merge_threshold(),
-                    sz_limit,
-                    self.attrs.min_nr_regions,
+            let after_merge;
+            let aggregate_ns = daos_trace::span!(t, Aggregate, {
+                if self.attrs.adaptive {
+                    let sz_limit = (self.regions.total_bytes()
+                        / self.attrs.min_nr_regions.max(1) as u64)
+                        .max(PAGE_SIZE);
+                    self.regions.merge_with_aging(
+                        self.attrs.merge_threshold(),
+                        sz_limit,
+                        self.attrs.min_nr_regions,
+                    );
+                } else {
+                    // Static sampling still needs the aging bookkeeping.
+                    self.regions.merge_with_aging(self.attrs.merge_threshold(), 0, usize::MAX);
+                }
+                after_merge = self.regions.len() as u64;
+                if after_merge != before_merge {
+                    daos_trace::trace!(
+                        t,
+                        RegionMerge { before: before_merge, after: after_merge }
+                    );
+                }
+                let snap = self.regions.snapshot();
+                // Stream the window into the trace: one RegionSnapshot per
+                // region, committed by the Aggregation event below — this
+                // is what lets `daos report` rebuild a MonitorRecord.
+                if daos_trace::enabled() {
+                    for r in &snap {
+                        daos_trace::emit(
+                            t,
+                            daos_trace::Event::RegionSnapshot {
+                                start: r.range.start,
+                                end: r.range.end,
+                                nr_accesses: r.nr_accesses as u64,
+                                age: r.age as u64,
+                            },
+                        );
+                    }
+                }
+                sink.push(Aggregation {
+                    at: t,
+                    regions: snap,
+                    max_nr_accesses: self.attrs.max_nr_accesses(),
+                    aggregation_interval: self.attrs.aggregation_interval,
+                });
+                daos_trace::trace!(
+                    t,
+                    Aggregation {
+                        nr_regions: after_merge,
+                        window_ns: self.attrs.aggregation_interval,
+                        max_nr_accesses: self.attrs.max_nr_accesses() as u64,
+                    }
                 );
-            } else {
-                // Static sampling still needs the aging bookkeeping.
-                self.regions.merge_with_aging(self.attrs.merge_threshold(), 0, usize::MAX);
-            }
-            let after_merge = self.regions.len() as u64;
-            if after_merge != before_merge {
-                daos_trace::trace!(t, RegionMerge { before: before_merge, after: after_merge });
-            }
-            sink.push(Aggregation {
-                at: t,
-                regions: self.regions.snapshot(),
-                max_nr_accesses: self.attrs.max_nr_accesses(),
-                aggregation_interval: self.attrs.aggregation_interval,
+                self.regions.reset_aggregated();
+                after_merge * AGGR_PER_REGION_NS
             });
-            daos_trace::trace!(
-                t,
-                Aggregation {
-                    nr_regions: after_merge,
-                    window_ns: self.attrs.aggregation_interval,
+            let split_ns = daos_trace::span!(t, SplitMerge, {
+                if self.attrs.adaptive {
+                    self.regions.split(&mut self.rng, self.attrs.max_nr_regions);
+                    let after_split = self.regions.len() as u64;
+                    if after_split != after_merge {
+                        daos_trace::trace!(
+                            t,
+                            RegionSplit { before: after_merge, after: after_split }
+                        );
+                    }
                 }
-            );
-            self.regions.reset_aggregated();
-            if self.attrs.adaptive {
-                self.regions.split(&mut self.rng, self.attrs.max_nr_regions);
-                let after_split = self.regions.len() as u64;
-                if after_split != after_merge {
-                    daos_trace::trace!(t, RegionSplit { before: after_merge, after: after_split });
-                }
-            }
-            self.pending_work_ns += self.regions.len() as Ns * AGGR_PER_REGION_NS;
+                (self.regions.len() as u64 - after_merge) * AGGR_PER_REGION_NS
+            });
+            self.pending_work_ns += aggregate_ns + split_ns;
             self.overhead.nr_aggregations += 1;
             // Rebase (rather than increment) so a slow quantum does not
             // leave a backlog of aggregation windows firing in a burst.
@@ -190,7 +225,7 @@ impl<P: Primitives> MonitorCtx<P> {
         self.overhead.total_checks += checks;
         self.overhead.max_checks_per_tick = self.overhead.max_checks_per_tick.max(checks);
         self.overhead.nr_ticks += 1;
-        let work = checks * check_cost;
+        let work = daos_trace::span!(t, Sample, checks * check_cost);
         self.overhead.work_ns += work;
         self.pending_work_ns += work;
         daos_trace::trace!(
@@ -401,6 +436,40 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(max_from_events, ctx.overhead.max_checks_per_tick);
+    }
+
+    #[test]
+    fn spans_decompose_the_cost_model() {
+        use daos_trace::{keys, Phase};
+        daos_trace::install(daos_trace::Collector::builder().build().unwrap()).unwrap();
+        let mut env = SyntheticSpace::new(vec![AddrRange::new(0, mb(64))]);
+        let attrs = small_attrs();
+        let mut ctx = MonitorCtx::new(attrs, SyntheticPrimitives, &env, 0, 11);
+        let mut sink = Vec::new();
+        let mut charged = 0;
+        for i in 1..=300u64 {
+            env.touch_range(AddrRange::new(0, mb(4)));
+            ctx.step(&mut env, i * ms(5), &mut sink);
+            charged += ctx.take_work_ns();
+        }
+        let c = daos_trace::take().unwrap();
+        assert_eq!(c.ring().dropped(), 0);
+        let reg = c.registry();
+        // The Sample span histogram carries exactly the monitor's tick
+        // work: count = ticks, sum = work_ns.
+        let sample = reg.hist(&keys::span(Phase::Sample)).unwrap();
+        assert_eq!(sample.count(), ctx.overhead.nr_ticks);
+        assert_eq!(sample.sum(), ctx.overhead.work_ns);
+        // Aggregate + SplitMerge spans together equal the historical
+        // per-boundary `final_regions × 40 ns` charge.
+        let agg = reg.hist(&keys::span(Phase::Aggregate)).unwrap();
+        let split = reg.hist(&keys::span(Phase::SplitMerge)).unwrap();
+        assert_eq!(agg.count(), ctx.overhead.nr_aggregations);
+        assert_eq!(split.count(), ctx.overhead.nr_aggregations);
+        assert_eq!(sample.sum() + agg.sum() + split.sum(), charged, "spans cover all charged work");
+        // One RegionSnapshot per region per delivered window.
+        let expected: u64 = sink.iter().map(|a| a.regions.len() as u64).sum();
+        assert_eq!(reg.counter("monitor.region_snapshots"), expected);
     }
 
     #[test]

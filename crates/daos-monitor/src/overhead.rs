@@ -92,7 +92,7 @@ mod tests {
         let mut c = Collector::builder().build().unwrap();
         c.record(0, Event::SamplingTick { checks: 10, nr_regions: 5, work_ns: 400 });
         c.record(5, Event::SamplingTick { checks: 30, nr_regions: 5, work_ns: 1200 });
-        c.record(5, Event::Aggregation { nr_regions: 5, window_ns: 100 });
+        c.record(5, Event::Aggregation { nr_regions: 5, window_ns: 100, max_nr_accesses: 20 });
         let s = OverheadStats::from_registry(c.registry());
         let want = OverheadStats {
             total_checks: 40,

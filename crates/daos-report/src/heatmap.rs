@@ -1,0 +1,60 @@
+//! `report heatmap`: drive the Fig. 6 rasteriser from a trace instead of
+//! an in-memory `MonitorRecord`.
+
+use daos::{biggest_active_span, Heatmap};
+use daos_trace::TraceDoc;
+
+use crate::record::record_from_doc;
+
+/// Rebuild the record from `doc` and rasterise it over its biggest
+/// actively-accessed span. `None` when the trace holds no complete
+/// aggregation window (or `nr_cols`/`nr_rows` is 0).
+pub fn heatmap_from_doc(doc: &TraceDoc, nr_cols: usize, nr_rows: usize) -> Option<Heatmap> {
+    let record = record_from_doc(doc);
+    let span = biggest_active_span(&record)?;
+    Heatmap::from_record(&record, span, nr_cols, nr_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_trace::{Event, TimedEvent};
+
+    fn doc(events: Vec<TimedEvent>) -> TraceDoc {
+        TraceDoc { events, dropped: 0, ring_capacity: 1024, metrics: None }
+    }
+
+    #[test]
+    fn trace_drives_the_rasteriser() {
+        let mut events = Vec::new();
+        for t in 0..8u64 {
+            // Low half hot, high half idle, every window.
+            events.push(TimedEvent {
+                at: t * 100,
+                event: Event::RegionSnapshot { start: 0, end: 1 << 20, nr_accesses: 18, age: 0 },
+            });
+            events.push(TimedEvent {
+                at: t * 100,
+                event: Event::RegionSnapshot {
+                    start: 1 << 20,
+                    end: 2 << 20,
+                    nr_accesses: 0,
+                    age: 5,
+                },
+            });
+            events.push(TimedEvent {
+                at: t * 100,
+                event: Event::Aggregation { nr_regions: 2, window_ns: 100, max_nr_accesses: 20 },
+            });
+        }
+        let hm = heatmap_from_doc(&doc(events), 8, 6).unwrap();
+        assert_eq!((hm.nr_cols, hm.nr_rows), (8, 6));
+        assert!(hm.cells.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        assert!(hm.mean_intensity(0.0..0.5, 0.0..1.0) > 0.5);
+    }
+
+    #[test]
+    fn empty_trace_gives_none() {
+        assert!(heatmap_from_doc(&doc(Vec::new()), 8, 6).is_none());
+    }
+}

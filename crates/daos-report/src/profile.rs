@@ -1,0 +1,163 @@
+//! `report profile`: per-phase latency breakdown from the span-duration
+//! histograms, plus a cross-check of the monitor's `OverheadStats`
+//! accounting against summed span time.
+//!
+//! Durations are **virtual** nanoseconds (the simulated CPU cost each
+//! phase charged), so the profile is exactly as deterministic as the run
+//! — and a run with collection disabled contains zero span events, which
+//! this view states explicitly (the zero-overhead pin made visible).
+
+use daos_trace::{keys, Collector, Histogram, Phase, Registry, TraceDoc};
+
+/// One phase's latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// The pipeline phase.
+    pub phase: Phase,
+    /// Completed spans.
+    pub count: u64,
+    /// p50 / p95 / p99 duration estimates (log2-bucket midpoints,
+    /// clamped to the exact extremes).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact total virtual time spent in the phase.
+    pub total_ns: u64,
+}
+
+impl PhaseStats {
+    fn from_hist(phase: Phase, h: &Histogram) -> PhaseStats {
+        PhaseStats {
+            phase,
+            count: h.count(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+            total_ns: h.sum(),
+        }
+    }
+}
+
+/// The `report profile` view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Phases with at least one completed span, in pipeline order.
+    pub phases: Vec<PhaseStats>,
+    /// `monitor.work_ns` as the monitor's own accounting recorded it.
+    pub monitor_work_ns: u64,
+    /// Total Sample-span time — must equal [`Self::monitor_work_ns`] on
+    /// an untampered trace (the cross-check).
+    pub sample_span_ns: u64,
+}
+
+impl Profile {
+    /// Extract the profile from a parsed document. Prefers the metrics
+    /// trailer (the live registry, complete even if the ring dropped
+    /// events); falls back to replaying the event stream.
+    pub fn of(doc: &TraceDoc) -> Profile {
+        match &doc.metrics {
+            Some(reg) => Self::from_registry(reg),
+            None => Self::from_registry(Collector::replay(&doc.events).registry()),
+        }
+    }
+
+    /// Extract the profile from a registry.
+    pub fn from_registry(reg: &Registry) -> Profile {
+        let phases: Vec<PhaseStats> = Phase::ALL
+            .iter()
+            .filter_map(|&p| reg.hist(&keys::span(p)).map(|h| PhaseStats::from_hist(p, h)))
+            .collect();
+        let sample_span_ns = phases
+            .iter()
+            .find(|s| s.phase == Phase::Sample)
+            .map_or(0, |s| s.total_ns);
+        Profile {
+            phases,
+            monitor_work_ns: reg.counter(keys::MONITOR_WORK_NS),
+            sample_span_ns,
+        }
+    }
+
+    /// Whether the monitor's `OverheadStats` accounting agrees with the
+    /// summed Sample-span time.
+    pub fn overhead_consistent(&self) -> bool {
+        self.sample_span_ns == self.monitor_work_ns
+    }
+
+    /// Render the per-phase table and the cross-check verdict.
+    pub fn render(&self) -> String {
+        if self.phases.is_empty() {
+            return "no span events in this trace (collection disabled or pre-span recording)\n"
+                .to_string();
+        }
+        let mut out = String::from("phase          count      p50(ns)      p95(ns)      p99(ns)    total(ns)\n");
+        for s in &self.phases {
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+                s.phase.key_name(),
+                s.count,
+                s.p50,
+                s.p95,
+                s.p99,
+                s.total_ns
+            ));
+        }
+        if self.overhead_consistent() {
+            out.push_str(&format!(
+                "cross-check: sample spans sum to {} ns == monitor.work_ns (OK)\n",
+                self.sample_span_ns
+            ));
+        } else {
+            out.push_str(&format!(
+                "cross-check: MISMATCH — sample spans sum to {} ns but monitor.work_ns is {}\n",
+                self.sample_span_ns, self.monitor_work_ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_from_span_histograms() {
+        let mut reg = Registry::new();
+        for dur in [100u64, 100, 100, 900] {
+            reg.hist_record(&keys::span(Phase::Sample), dur);
+        }
+        reg.hist_record(&keys::span(Phase::SchemeApply), 5000);
+        reg.counter_add(keys::MONITOR_WORK_NS, 1200);
+        let p = Profile::from_registry(&reg);
+        assert_eq!(p.phases.len(), 2);
+        assert_eq!(p.phases[0].phase, Phase::Sample);
+        assert_eq!(p.phases[0].count, 4);
+        assert_eq!(p.phases[0].total_ns, 1200);
+        assert_eq!(p.phases[1].phase, Phase::SchemeApply);
+        assert!(p.overhead_consistent());
+        let text = p.render();
+        assert!(text.contains("sample"), "{text}");
+        assert!(text.contains("(OK)"), "{text}");
+    }
+
+    #[test]
+    fn mismatch_is_called_out() {
+        let mut reg = Registry::new();
+        reg.hist_record(&keys::span(Phase::Sample), 100);
+        reg.counter_add(keys::MONITOR_WORK_NS, 999);
+        let p = Profile::from_registry(&reg);
+        assert!(!p.overhead_consistent());
+        assert!(p.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn span_free_trace_states_it() {
+        let doc = TraceDoc { events: Vec::new(), dropped: 0, ring_capacity: 16, metrics: None };
+        let p = Profile::of(&doc);
+        assert!(p.phases.is_empty());
+        assert!(p.render().contains("no span events"));
+    }
+}

@@ -1,0 +1,184 @@
+//! `report schemes`: per-scheme apply timeline — tried/applied volume,
+//! quota throttling, and watermark activation windows, all derived from
+//! the schemes-layer events of a trace.
+
+use daos_trace::{Event, Ns, TimedEvent, TraceDoc};
+use daos_util::json_struct;
+
+/// What one scheme did over the traced run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemeTimeline {
+    /// Scheme index (position in the engine's scheme list).
+    pub scheme: u32,
+    /// Regions whose predicate matched.
+    pub nr_tried: u64,
+    /// Bytes of matched regions.
+    pub sz_tried: u64,
+    /// Action applications that affected memory.
+    pub nr_applied: u64,
+    /// Bytes actually acted on.
+    pub sz_applied: u64,
+    /// Matches skipped because the quota window was exhausted.
+    pub nr_quota_skips: u64,
+    /// Bytes those skips left untouched.
+    pub sz_quota_skipped: u64,
+    /// Time of the first and last application, if any.
+    pub active_span: Option<(Ns, Ns)>,
+    /// Watermark state flips as `(at, became_active)`, in time order.
+    /// Empty when the scheme has no watermarks (always active).
+    pub wmark_flips: Vec<(Ns, bool)>,
+}
+
+json_struct!(SchemeTimeline {
+    scheme, nr_tried, sz_tried, nr_applied, sz_applied,
+    nr_quota_skips, sz_quota_skipped, active_span, wmark_flips,
+});
+
+impl SchemeTimeline {
+    fn touch_apply(&mut self, at: Ns) {
+        self.active_span = Some(match self.active_span {
+            None => (at, at),
+            Some((first, last)) => (first.min(at), last.max(at)),
+        });
+    }
+
+    /// One human-readable block for this scheme.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "scheme {}: tried {} / {} KiB, applied {} / {} KiB",
+            self.scheme,
+            self.nr_tried,
+            self.sz_tried >> 10,
+            self.nr_applied,
+            self.sz_applied >> 10,
+        );
+        if self.nr_quota_skips > 0 {
+            out.push_str(&format!(
+                ", quota-skipped {} / {} KiB",
+                self.nr_quota_skips,
+                self.sz_quota_skipped >> 10
+            ));
+        }
+        out.push('\n');
+        if let Some((first, last)) = self.active_span {
+            out.push_str(&format!(
+                "  applying {:.2}s..{:.2}s\n",
+                first as f64 / 1e9,
+                last as f64 / 1e9
+            ));
+        }
+        if self.wmark_flips.is_empty() {
+            out.push_str("  watermarks: none (always active)\n");
+        } else {
+            out.push_str("  watermarks:");
+            for (at, active) in &self.wmark_flips {
+                out.push_str(&format!(
+                    " {}@{:.2}s",
+                    if *active { "activate" } else { "deactivate" },
+                    *at as f64 / 1e9
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Fold the schemes-layer events of `events` into per-scheme timelines,
+/// ordered by scheme index.
+pub fn scheme_timelines(events: &[TimedEvent]) -> Vec<SchemeTimeline> {
+    let mut out: Vec<SchemeTimeline> = Vec::new();
+    let get = |out: &mut Vec<SchemeTimeline>, scheme: u32| -> usize {
+        match out.iter().position(|t| t.scheme == scheme) {
+            Some(i) => i,
+            None => {
+                out.push(SchemeTimeline { scheme, ..SchemeTimeline::default() });
+                out.len() - 1
+            }
+        }
+    };
+    for te in events {
+        match te.event {
+            Event::SchemeMatch { scheme, bytes } => {
+                let i = get(&mut out, scheme);
+                let t = &mut out[i];
+                t.nr_tried += 1;
+                t.sz_tried += bytes;
+            }
+            Event::SchemeApply { scheme, bytes, .. } => {
+                let i = get(&mut out, scheme);
+                let t = &mut out[i];
+                t.nr_applied += 1;
+                t.sz_applied += bytes;
+                t.touch_apply(te.at);
+            }
+            Event::QuotaThrottle { scheme, skipped_bytes } => {
+                let i = get(&mut out, scheme);
+                let t = &mut out[i];
+                t.nr_quota_skips += 1;
+                t.sz_quota_skipped += skipped_bytes;
+            }
+            Event::WatermarkTransition { scheme, active, .. } => {
+                let i = get(&mut out, scheme);
+                let t = &mut out[i];
+                t.wmark_flips.push((te.at, active));
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|t| t.scheme);
+    out
+}
+
+/// Render every scheme's block (or a placeholder for a scheme-free run).
+pub fn render_all(doc: &TraceDoc) -> String {
+    let timelines = scheme_timelines(&doc.events);
+    if timelines.is_empty() {
+        return "no per-scheme events in this trace (schemes idle or not configured)\n".to_string();
+    }
+    timelines.iter().map(SchemeTimeline::render).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_trace::ActionTag;
+
+    #[test]
+    fn timelines_accumulate_per_scheme() {
+        let events = vec![
+            TimedEvent { at: 100, event: Event::WatermarkTransition { scheme: 0, active: true, metric_permille: 400 } },
+            TimedEvent { at: 100, event: Event::SchemeMatch { scheme: 0, bytes: 4096 } },
+            TimedEvent {
+                at: 100,
+                event: Event::SchemeApply { scheme: 0, action: ActionTag::Pageout, bytes: 4096 },
+            },
+            TimedEvent { at: 200, event: Event::SchemeMatch { scheme: 0, bytes: 8192 } },
+            TimedEvent { at: 200, event: Event::QuotaThrottle { scheme: 0, skipped_bytes: 8192 } },
+            TimedEvent { at: 300, event: Event::SchemeMatch { scheme: 1, bytes: 1024 } },
+            TimedEvent {
+                at: 300,
+                event: Event::SchemeApply { scheme: 1, action: ActionTag::Stat, bytes: 1024 },
+            },
+        ];
+        let tl = scheme_timelines(&events);
+        assert_eq!(tl.len(), 2);
+        assert_eq!((tl[0].nr_tried, tl[0].sz_tried), (2, 12288));
+        assert_eq!((tl[0].nr_applied, tl[0].sz_applied), (1, 4096));
+        assert_eq!((tl[0].nr_quota_skips, tl[0].sz_quota_skipped), (1, 8192));
+        assert_eq!(tl[0].active_span, Some((100, 100)));
+        assert_eq!(tl[0].wmark_flips, vec![(100, true)]);
+        assert_eq!(tl[1].scheme, 1);
+        assert!(tl[1].wmark_flips.is_empty());
+        let text = tl[0].render();
+        assert!(text.contains("quota-skipped 1 / 8 KiB"), "{text}");
+        assert!(text.contains("activate@"), "{text}");
+        assert!(tl[1].render().contains("always active"));
+    }
+
+    #[test]
+    fn scheme_free_trace_renders_placeholder() {
+        let doc = TraceDoc { events: Vec::new(), dropped: 0, ring_capacity: 16, metrics: None };
+        assert!(render_all(&doc).contains("no per-scheme events"));
+    }
+}

@@ -1,0 +1,223 @@
+//! `report summary`: the run header of a trace — event counts by layer
+//! and kind, drop accounting (a truncated recording is *flagged*, never
+//! silently treated as complete), and a trailer-vs-replay integrity
+//! check of the metrics registry.
+
+use std::collections::BTreeMap;
+
+use daos_trace::{Collector, Ns, TraceDoc};
+
+/// Whether the exporter's metrics trailer agrees with a replay of the
+/// event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrity {
+    /// Trailer equals the replayed registry — the document is internally
+    /// consistent.
+    Consistent,
+    /// Trailer differs but events were dropped, so divergence is
+    /// expected (the trailer saw every event; the ring did not keep
+    /// them all).
+    Truncated,
+    /// Trailer differs on a drop-free document — the trace was edited
+    /// or corrupted.
+    Inconsistent,
+    /// No metrics trailer to check against.
+    NoTrailer,
+}
+
+/// Everything `report summary` prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Events surviving in the document.
+    pub nr_events: u64,
+    /// Events the ring overwrote (from the header).
+    pub dropped: u64,
+    /// Ring capacity the recording ran with.
+    pub ring_capacity: u64,
+    /// Virtual-time span of the surviving events.
+    pub time_span: Option<(Ns, Ns)>,
+    /// Event count per emitting layer, keyed by layer name.
+    pub by_layer: BTreeMap<String, u64>,
+    /// Event count per variant name.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Counter/gauge/histogram key counts in the trailer, if present.
+    pub trailer_keys: Option<(u64, u64, u64)>,
+    /// The trailer-vs-replay verdict.
+    pub integrity: Integrity,
+}
+
+impl Summary {
+    /// Analyse a parsed export document.
+    pub fn of(doc: &TraceDoc) -> Summary {
+        let mut by_layer: BTreeMap<String, u64> = BTreeMap::new();
+        let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        for te in &doc.events {
+            *by_layer.entry(format!("{:?}", te.event.layer())).or_insert(0) += 1;
+            *by_kind.entry(te.event.name().to_string()).or_insert(0) += 1;
+        }
+        let time_span = match (doc.events.first(), doc.events.last()) {
+            (Some(a), Some(b)) => Some((a.at, b.at)),
+            _ => None,
+        };
+        let (trailer_keys, integrity) = match &doc.metrics {
+            None => (None, Integrity::NoTrailer),
+            Some(reg) => {
+                let keys = (
+                    reg.counters().count() as u64,
+                    reg.gauges().count() as u64,
+                    reg.hists().count() as u64,
+                );
+                let replayed = Collector::replay(&doc.events);
+                let verdict = if replayed.registry() == reg {
+                    Integrity::Consistent
+                } else if doc.dropped > 0 {
+                    Integrity::Truncated
+                } else {
+                    Integrity::Inconsistent
+                };
+                (Some(keys), verdict)
+            }
+        };
+        Summary {
+            nr_events: doc.events.len() as u64,
+            dropped: doc.dropped,
+            ring_capacity: doc.ring_capacity,
+            time_span,
+            by_layer,
+            by_kind,
+            trailer_keys,
+            integrity,
+        }
+    }
+
+    /// True when the recording kept every emitted event.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Render the summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::from("trace summary\n");
+        out.push_str(&format!(
+            "  events: {} kept, {} dropped (ring capacity {})\n",
+            self.nr_events, self.dropped, self.ring_capacity
+        ));
+        if !self.is_complete() {
+            out.push_str(&format!(
+                "  WARNING: recording is incomplete — {} events were overwritten; \
+                 derived views cover only the surviving window (re-record with a \
+                 larger --ring)\n",
+                self.dropped
+            ));
+        }
+        if let Some((t0, t1)) = self.time_span {
+            out.push_str(&format!(
+                "  time span: {:.2}s..{:.2}s\n",
+                t0 as f64 / 1e9,
+                t1 as f64 / 1e9
+            ));
+        }
+        out.push_str("  by layer:");
+        for (layer, n) in &self.by_layer {
+            out.push_str(&format!(" {layer} {n}"));
+        }
+        out.push('\n');
+        out.push_str("  by kind:\n");
+        for (kind, n) in &self.by_kind {
+            out.push_str(&format!("    {kind:<20} {n}\n"));
+        }
+        match self.trailer_keys {
+            Some((c, g, h)) => out.push_str(&format!(
+                "  metrics trailer: {c} counters, {g} gauges, {h} histograms\n"
+            )),
+            None => out.push_str("  metrics trailer: absent\n"),
+        }
+        out.push_str(match self.integrity {
+            Integrity::Consistent => "  integrity: trailer matches event replay\n",
+            Integrity::Truncated => {
+                "  integrity: trailer diverges from replay (expected: events were dropped)\n"
+            }
+            Integrity::Inconsistent => {
+                "  integrity: MISMATCH — trailer does not match a replay of a \
+                 drop-free event stream\n"
+            }
+            Integrity::NoTrailer => "  integrity: n/a (no metrics trailer)\n",
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_trace::{Event, TimedEvent};
+
+    fn events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent { at: 10, event: Event::PageFault { pid: 1, addr: 0x1000, major: false } },
+            TimedEvent {
+                at: 20,
+                event: Event::SamplingTick { checks: 4, nr_regions: 2, work_ns: 160 },
+            },
+            TimedEvent {
+                at: 30,
+                event: Event::SamplingTick { checks: 4, nr_regions: 2, work_ns: 160 },
+            },
+        ]
+    }
+
+    #[test]
+    fn counts_layers_kinds_and_span() {
+        let doc = TraceDoc { events: events(), dropped: 0, ring_capacity: 64, metrics: None };
+        let s = Summary::of(&doc);
+        assert_eq!(s.nr_events, 3);
+        assert!(s.is_complete());
+        assert_eq!(s.time_span, Some((10, 30)));
+        assert_eq!(s.by_layer["Mm"], 1);
+        assert_eq!(s.by_layer["Monitor"], 2);
+        assert_eq!(s.by_kind["SamplingTick"], 2);
+        assert_eq!(s.integrity, Integrity::NoTrailer);
+        let text = s.render();
+        assert!(!text.contains("WARNING"), "{text}");
+        assert!(text.contains("SamplingTick         2"), "{text}");
+    }
+
+    #[test]
+    fn dropped_events_are_flagged() {
+        let doc = TraceDoc { events: events(), dropped: 7, ring_capacity: 3, metrics: None };
+        let s = Summary::of(&doc);
+        assert!(!s.is_complete());
+        assert!(s.render().contains("WARNING: recording is incomplete — 7 events"));
+    }
+
+    #[test]
+    fn integrity_verdicts() {
+        // Consistent: trailer == replay of the same events.
+        let evs = events();
+        let replay = Collector::replay(&evs);
+        let doc = TraceDoc {
+            events: evs.clone(),
+            dropped: 0,
+            ring_capacity: 64,
+            metrics: Some(replay.registry().clone()),
+        };
+        assert_eq!(Summary::of(&doc).integrity, Integrity::Consistent);
+
+        // Truncated: registry saw more than the ring kept, drops declared.
+        let mut bigger = replay.registry().clone();
+        bigger.counter_add("mm.minor_faults", 5);
+        let doc = TraceDoc {
+            events: evs.clone(),
+            dropped: 5,
+            ring_capacity: 3,
+            metrics: Some(bigger.clone()),
+        };
+        assert_eq!(Summary::of(&doc).integrity, Integrity::Truncated);
+
+        // Inconsistent: same divergence but the header claims no drops.
+        let doc = TraceDoc { events: evs, dropped: 0, ring_capacity: 64, metrics: Some(bigger) };
+        let s = Summary::of(&doc);
+        assert_eq!(s.integrity, Integrity::Inconsistent);
+        assert!(s.render().contains("MISMATCH"));
+    }
+}

@@ -1,0 +1,95 @@
+//! `report wss`: the working-set-size time series of a trace, with the
+//! paper's percentile framing (the WSS view `damo report wss` ships).
+
+use daos::WssReport;
+use daos_monitor::MonitorRecord;
+use daos_trace::Ns;
+use daos_util::json_struct;
+
+/// Working-set size per aggregation window, in time order, plus the
+/// derived distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WssTimeline {
+    /// Window close times (virtual ns), one per sample.
+    pub at: Vec<Ns>,
+    /// Per-window working-set estimates, bytes, parallel to `at`.
+    pub wss: Vec<u64>,
+}
+
+json_struct!(WssTimeline { at, wss });
+
+impl WssTimeline {
+    /// Compute the timeline from a (possibly trace-rebuilt) record.
+    pub fn from_record(record: &MonitorRecord) -> WssTimeline {
+        WssTimeline {
+            at: record.aggregations.iter().map(|a| a.at).collect(),
+            wss: record.aggregations.iter().map(|a| a.hot_bytes_estimate()).collect(),
+        }
+    }
+
+    /// The distribution view over the same samples.
+    pub fn distribution(&self) -> WssReport {
+        WssReport { samples: self.wss.clone() }
+    }
+
+    /// Render the series and the p25/p50/p75/p95 percentile table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("working-set size over {} windows\n", self.wss.len()));
+        out.push_str("      t(s)   wss(KiB)\n");
+        for (at, wss) in self.at.iter().zip(&self.wss) {
+            out.push_str(&format!("{:>10.2} {:>10}\n", *at as f64 / 1e9, wss >> 10));
+        }
+        let dist = self.distribution();
+        out.push_str("\npercentile   wss\n");
+        for p in [25.0, 50.0, 75.0, 95.0] {
+            out.push_str(&format!("{:>9.0}% {:>8} KiB\n", p, dist.percentile(p) >> 10));
+        }
+        out.push_str(&format!("{:>10} {:>8} KiB\n", "mean", dist.mean() >> 10));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_mm::addr::AddrRange;
+    use daos_monitor::{Aggregation, RegionInfo};
+
+    fn record() -> MonitorRecord {
+        let mut rec = MonitorRecord::new();
+        for t in 1..=4u64 {
+            rec.push(Aggregation {
+                at: t * 1_000_000_000,
+                regions: vec![RegionInfo {
+                    range: AddrRange::new(0, t << 20),
+                    nr_accesses: 20,
+                    age: 0,
+                }],
+                max_nr_accesses: 20,
+                aggregation_interval: 100,
+            });
+        }
+        rec
+    }
+
+    #[test]
+    fn timeline_follows_the_record() {
+        let tl = WssTimeline::from_record(&record());
+        assert_eq!(tl.at, vec![1_000_000_000, 2_000_000_000, 3_000_000_000, 4_000_000_000]);
+        assert_eq!(tl.wss, vec![1 << 20, 2 << 20, 3 << 20, 4 << 20]);
+        let out = tl.render();
+        assert!(out.starts_with("working-set size over 4 windows\n"));
+        assert!(out.contains("      1.00       1024\n"), "{out}");
+        assert!(out.contains("       50%"), "{out}");
+        assert!(out.contains("mean"), "{out}");
+    }
+
+    #[test]
+    fn empty_record_renders_without_panicking() {
+        let tl = WssTimeline::from_record(&MonitorRecord::new());
+        let out = tl.render();
+        assert!(out.contains("0 windows"));
+        assert_eq!(tl.distribution().percentile(50.0), 0);
+    }
+}

@@ -10,7 +10,7 @@ use daos_monitor::{Aggregation, RegionInfo};
 use crate::action::Action;
 use crate::config::SchemeConfig;
 use crate::filter::{apply_filters, AddrFilter};
-use crate::quota::{prioritize, Quota, QuotaState};
+use crate::quota::{prioritize, QuotaState};
 use crate::scheme::Scheme;
 use crate::stats::SchemeStats;
 use crate::watermarks::{free_mem_permille, WatermarkState, Watermarks};
@@ -98,29 +98,6 @@ impl SchemesEngine {
         engine
     }
 
-    /// Attach a quota to scheme `idx` (extension; see `quota` module).
-    #[deprecated(note = "attach the quota with `Scheme::configure().quota(..)` and pass the \
-                         resulting `SchemeConfig` to `SchemesEngine::new`")]
-    pub fn set_quota(&mut self, idx: usize, quota: Quota, now: Ns) {
-        self.quotas[idx] = Some(QuotaState::new(quota, now));
-    }
-
-    /// Attach watermarks to scheme `idx`: the scheme only acts while the
-    /// free-memory metric sits in the configured band (see `watermarks`).
-    #[deprecated(note = "attach the watermarks with `Scheme::configure().watermarks(..)` and \
-                         pass the resulting `SchemeConfig` to `SchemesEngine::new`")]
-    pub fn set_watermarks(&mut self, idx: usize, wmarks: Watermarks) {
-        debug_assert!(wmarks.validate().is_ok());
-        self.wmarks[idx] = Some((wmarks, WatermarkState::Inactive));
-    }
-
-    /// Append an address filter to scheme `idx` (see `filter`).
-    #[deprecated(note = "attach filters with `Scheme::configure().filter(..)` and pass the \
-                         resulting `SchemeConfig` to `SchemesEngine::new`")]
-    pub fn add_filter(&mut self, idx: usize, filter: AddrFilter) {
-        self.filters[idx].push(filter);
-    }
-
     /// Current watermark activation state of scheme `idx` (None = no
     /// watermarks configured, i.e. always active).
     pub fn watermark_state(&self, idx: usize) -> Option<WatermarkState> {
@@ -148,6 +125,16 @@ impl SchemesEngine {
     /// [`MemorySystem::charge_schemes`] by the caller.
     pub fn on_aggregation(&mut self, sys: &mut MemorySystem, agg: &Aggregation) -> EnginePass {
         let mut pass = EnginePass::default();
+        // The whole pass is one SchemeApply span; its virtual duration is
+        // the kernel CPU time the actions consumed.
+        daos_trace::span!(agg.at, SchemeApply, {
+            self.run_pass(sys, agg, &mut pass);
+            pass.work_ns
+        });
+        pass
+    }
+
+    fn run_pass(&mut self, sys: &mut MemorySystem, agg: &Aggregation, pass: &mut EnginePass) {
         let free_permille = free_mem_permille(sys);
         for i in 0..self.schemes.len() {
             // Watermarks: advance the activation state machine and skip
@@ -208,8 +195,7 @@ impl SchemesEngine {
                 // run it through the scheme's address filters.
                 let range = AddrRange::new(r.range.start, r.range.start + granted);
                 for allowed in apply_filters(range, &self.filters[i]) {
-                    let applied =
-                        Self::apply(self.target, scheme.action, sys, allowed, &mut pass);
+                    let applied = Self::apply(self.target, scheme.action, sys, allowed, pass);
                     if applied > 0 {
                         self.stats[i].applied(applied);
                         daos_trace::trace!(agg.at, SchemeApply {
@@ -221,7 +207,6 @@ impl SchemesEngine {
                 }
             }
         }
-        pass
     }
 
     /// Apply one action to one range; returns affected bytes.
@@ -285,6 +270,7 @@ impl SchemesEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::quota::Quota;
     use daos_mm::access::AccessBatch;
     use daos_mm::addr::HUGE_PAGE_SIZE;
     use daos_mm::clock::ms;
@@ -603,8 +589,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_index_setters_still_work() {
+    fn engine_pass_is_a_scheme_apply_span() {
+        daos_trace::install(daos_trace::Collector::builder().build().unwrap()).unwrap();
         let mut sys = sys();
         let pid = sys.spawn();
         let range = sys.mmap(pid, 1 << 20, ThpMode::Never).unwrap();
@@ -612,10 +598,12 @@ mod tests {
         clear_refs(&mut sys, pid, range);
         let mut engine =
             SchemesEngine::new(SchemeTarget::Virtual(pid), vec![Scheme::any(Action::Pageout)]);
-        engine.set_quota(0, Quota { sz_limit: 256 << 10, reset_interval: ms(1000) }, 0);
         let agg = agg_of(vec![info(range, 0, 100)]);
         let pass = engine.on_aggregation(&mut sys, &agg);
-        assert_eq!(pass.paged_out, 256 << 10, "legacy setter path still caps the pageout");
+        let c = daos_trace::take().unwrap();
+        let h = c.registry().hist(&daos_trace::keys::span(daos_trace::Phase::SchemeApply));
+        let h = h.expect("one span per pass");
+        assert_eq!((h.count(), h.sum()), (1, pass.work_ns), "span carries the pass work");
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl Collector {
             }
             Event::RegionSplit { .. } => reg.counter_add(keys::MONITOR_SPLITS, 1),
             Event::RegionMerge { .. } => reg.counter_add(keys::MONITOR_MERGES, 1),
+            Event::RegionSnapshot { .. } => reg.counter_add("monitor.region_snapshots", 1),
             Event::Aggregation { .. } => reg.counter_add(keys::MONITOR_AGGREGATIONS, 1),
             Event::SchemeMatch { scheme, bytes } => {
                 reg.counter_add(&keys::scheme(scheme, "nr_tried"), 1);
@@ -159,7 +160,27 @@ impl Collector {
                 reg.gauge_set("tuner.best_x", best_x);
                 reg.gauge_set("tuner.best_score", best_score);
             }
+            // Enter is a pure marker; the duration lands on Exit.
+            Event::SpanEnter { .. } => {}
+            Event::SpanExit { phase, dur_ns } => {
+                reg.hist_record(&keys::span(phase), dur_ns);
+            }
         }
+    }
+
+    /// Rebuild a collector (registry included) by replaying an event
+    /// stream — the offline counterpart of a live run, used by
+    /// `daos report` to derive metrics from a parsed trace. The ring is
+    /// sized to hold every replayed event, so nothing is dropped.
+    pub fn replay(events: &[TimedEvent]) -> Collector {
+        let mut c = Collector::builder()
+            .ring_capacity(events.len().max(1))
+            .build()
+            .expect("non-zero capacity");
+        for te in events {
+            c.record(te.at, te.event);
+        }
+        c
     }
 }
 
@@ -229,6 +250,40 @@ macro_rules! trace {
     };
 }
 
+/// Wrap one pipeline phase in a [`SpanEnter`](crate::Event::SpanEnter) /
+/// [`SpanExit`](crate::Event::SpanExit) pair. The body expression must
+/// evaluate to the phase's **virtual** duration in nanoseconds (the
+/// simulated CPU cost it charged); it is *always* evaluated — only the
+/// events are gated on [`enabled`] — so instrumented code behaves
+/// identically with tracing off. The exit is stamped at `at + dur`, and
+/// the macro returns the duration:
+///
+/// ```
+/// let dur = daos_trace::span!(1_000, Aggregate, {
+///     let regions = 25u64;
+///     regions * 40 // virtual ns of aggregation work
+/// });
+/// assert_eq!(dur, 1_000);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($at:expr, $phase:ident, $body:expr) => {{
+        let __at: u64 = $at;
+        let __live = $crate::enabled();
+        if __live {
+            $crate::emit(__at, $crate::Event::SpanEnter { phase: $crate::Phase::$phase });
+        }
+        let __dur: u64 = $body;
+        if __live {
+            $crate::emit(
+                __at.saturating_add(__dur),
+                $crate::Event::SpanExit { phase: $crate::Phase::$phase, dur_ns: __dur },
+            );
+        }
+        __dur
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +318,53 @@ mod tests {
         let h = c.registry().hist(keys::MONITOR_CHECKS_PER_TICK).unwrap();
         assert_eq!((h.count(), h.sum(), h.max()), (2, 32, 20));
         assert_eq!(c.registry().counter(keys::MONITOR_WORK_NS), 1280);
+    }
+
+    #[test]
+    fn span_macro_emits_enter_exit_and_histogram() {
+        install(Collector::builder().build().unwrap()).unwrap();
+        let dur = crate::span!(100, SchemeApply, 40 + 2);
+        assert_eq!(dur, 42);
+        let c = take().unwrap();
+        let events = c.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            (events[0].at, events[0].event),
+            (100, Event::SpanEnter { phase: crate::Phase::SchemeApply })
+        );
+        assert_eq!(
+            (events[1].at, events[1].event),
+            (142, Event::SpanExit { phase: crate::Phase::SchemeApply, dur_ns: 42 })
+        );
+        let h = c.registry().hist(&keys::span(crate::Phase::SchemeApply)).unwrap();
+        assert_eq!((h.count(), h.sum()), (1, 42));
+    }
+
+    #[test]
+    fn span_body_runs_even_when_disabled() {
+        // No collector installed at all: the body's side effects (the
+        // simulated work) must still happen, but nothing is recorded.
+        assert!(take().is_none());
+        let mut ran = false;
+        let dur = crate::span!(7, TunerStep, {
+            ran = true;
+            9
+        });
+        assert!(ran, "span body is the actual work — it must always run");
+        assert_eq!(dur, 9);
+    }
+
+    #[test]
+    fn replay_rebuilds_the_registry() {
+        install(Collector::builder().build().unwrap()).unwrap();
+        crate::trace!(5, SamplingTick { checks: 12, nr_regions: 6, work_ns: 480 });
+        crate::trace!(9, SchemeMatch { scheme: 0, bytes: 4096 });
+        crate::span!(10, Aggregate, 160);
+        let live = take().unwrap();
+        let replayed = Collector::replay(&live.events());
+        assert_eq!(replayed.registry(), live.registry());
+        assert_eq!(replayed.events(), live.events());
+        assert_eq!(Collector::replay(&[]).events().len(), 0);
     }
 
     #[test]

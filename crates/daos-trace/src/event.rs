@@ -66,6 +66,54 @@ pub enum SamplePhase {
 
 json_enum!(SamplePhase { Global, Local });
 
+/// One of the five monitoring-pipeline phases a span can cover. Spans
+/// carry **virtual** durations (the simulated CPU cost the phase
+/// charged), so `report profile` is exactly as deterministic as the run
+/// it profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Young-bit evaluation + next-sample preparation of one tick.
+    Sample,
+    /// Merge-with-aging, snapshot delivery and counter reset at an
+    /// aggregation boundary.
+    Aggregate,
+    /// Adaptive region split after an aggregation boundary.
+    SplitMerge,
+    /// One schemes-engine pass over an aggregation window.
+    SchemeApply,
+    /// One complete auto-tuning procedure (sampling + fit + peak).
+    TunerStep,
+}
+
+json_enum!(Phase { Sample, Aggregate, SplitMerge, SchemeApply, TunerStep });
+
+impl Phase {
+    /// All phases, in pipeline order (stable for reports).
+    pub const ALL: [Phase; 5] =
+        [Phase::Sample, Phase::Aggregate, Phase::SplitMerge, Phase::SchemeApply, Phase::TunerStep];
+
+    /// The dotted-key fragment used for this phase's registry metrics
+    /// (`span.sample_ns`, `span.scheme_apply_ns`, ...).
+    pub fn key_name(&self) -> &'static str {
+        match self {
+            Phase::Sample => "sample",
+            Phase::Aggregate => "aggregate",
+            Phase::SplitMerge => "split_merge",
+            Phase::SchemeApply => "scheme_apply",
+            Phase::TunerStep => "tuner_step",
+        }
+    }
+
+    /// The layer whose pipeline this phase belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            Phase::Sample | Phase::Aggregate | Phase::SplitMerge => Layer::Monitor,
+            Phase::SchemeApply => Layer::Schemes,
+            Phase::TunerStep => Layer::Tuner,
+        }
+    }
+}
+
 /// Defines [`Event`] plus its name/encode/decode plumbing in one place
 /// so adding a tracepoint is a one-line change.
 macro_rules! events {
@@ -135,8 +183,15 @@ events! {
     RegionSplit { before: u64, after: u64 },
     /// Merge pass (with aging) changed the region count.
     RegionMerge { before: u64, after: u64 },
-    /// An aggregation window closed with `nr_regions` snapshot regions.
-    Aggregation { nr_regions: u64, window_ns: Ns },
+    /// One region of an aggregation snapshot. A full window is the run
+    /// of `RegionSnapshot` events since the previous [`Self::Aggregation`],
+    /// committed by the `Aggregation` event that follows them — together
+    /// they make the JSONL trace a faithful replay source for the
+    /// Fig. 6 heatmap / WSS tooling.
+    RegionSnapshot { start: u64, end: u64, nr_accesses: u64, age: u64 },
+    /// An aggregation window closed with `nr_regions` snapshot regions
+    /// (the commit marker for the preceding `RegionSnapshot` run).
+    Aggregation { nr_regions: u64, window_ns: Ns, max_nr_accesses: u64 },
 
     // ---- schemes ----
     /// A scheme's predicate matched a region (counted as "tried").
@@ -155,6 +210,13 @@ events! {
     TunerRefit { degree: u64, nr_samples: u64 },
     /// The tuner committed its final answer.
     TunerStep { best_x: f64, best_score: f64 },
+
+    // ---- spans (cross-layer; see [`Phase`]) ----
+    /// A pipeline phase began (paired with the next `SpanExit` of the
+    /// same phase; emitted by [`span!`](crate::span)).
+    SpanEnter { phase: Phase },
+    /// A pipeline phase finished after `dur_ns` of virtual work.
+    SpanExit { phase: Phase, dur_ns: Ns },
 }
 
 impl Event {
@@ -165,10 +227,11 @@ impl Event {
             PageFault { .. } | Reclaim { .. } | SwapOut { .. } | SwapIn { .. }
             | ThpPromote { .. } | ThpDemote { .. } => Layer::Mm,
             SamplingTick { .. } | RegionSplit { .. } | RegionMerge { .. }
-            | Aggregation { .. } => Layer::Monitor,
+            | RegionSnapshot { .. } | Aggregation { .. } => Layer::Monitor,
             SchemeMatch { .. } | SchemeApply { .. } | QuotaThrottle { .. }
             | WatermarkTransition { .. } => Layer::Schemes,
             TunerSample { .. } | TunerRefit { .. } | TunerStep { .. } => Layer::Tuner,
+            SpanEnter { phase } | SpanExit { phase, .. } => phase.layer(),
         }
     }
 }
@@ -211,6 +274,13 @@ mod tests {
                 Event::TunerSample { x: 0.5, score: 1.25, phase: SamplePhase::Local },
                 Layer::Tuner,
             ),
+            (
+                Event::RegionSnapshot { start: 0, end: 4096, nr_accesses: 3, age: 1 },
+                Layer::Monitor,
+            ),
+            (Event::SpanEnter { phase: Phase::Sample }, Layer::Monitor),
+            (Event::SpanExit { phase: Phase::SchemeApply, dur_ns: 9 }, Layer::Schemes),
+            (Event::SpanExit { phase: Phase::TunerStep, dur_ns: 9 }, Layer::Tuner),
         ];
         for (e, l) in samples {
             assert_eq!(e.layer(), l);

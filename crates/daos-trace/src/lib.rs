@@ -33,6 +33,13 @@
 //! - **One source of truth.** Every event is mirrored into the
 //!   [`Registry`] (counters / gauges / log2 histograms), and the stats
 //!   structs (`OverheadStats`, `SchemeStats`) re-derive from it.
+//! - **Replayable.** [`export_collector`] writes a self-describing JSONL
+//!   document; [`parse_export`] reads it back as a [`TraceDoc`], and
+//!   [`Collector::replay`] rebuilds the registry from the event stream —
+//!   the foundation the offline `daos report` tooling stands on.
+//! - **Spans.** The [`span!`](crate::span) macro wraps the five pipeline
+//!   phases ([`Phase`]) in enter/exit pairs carrying *virtual* durations,
+//!   feeding per-phase `span.*_ns` histograms for `report profile`.
 
 pub mod collector;
 pub mod event;
@@ -44,8 +51,8 @@ pub use collector::{
     emit, enabled, install, take, with_collector, Collector, CollectorBuilder,
     DEFAULT_RING_CAPACITY,
 };
-pub use event::{ActionTag, Event, Layer, Ns, Pid, SamplePhase, TimedEvent};
-pub use export::{events_from_jsonl, events_to_jsonl, export_collector};
+pub use event::{ActionTag, Event, Layer, Ns, Phase, Pid, SamplePhase, TimedEvent};
+pub use export::{events_from_jsonl, events_to_jsonl, export_collector, parse_export, TraceDoc};
 pub use metrics::{keys, Histogram, Registry};
 pub use ring::Ring;
 

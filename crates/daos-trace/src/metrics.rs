@@ -3,7 +3,7 @@
 //! the single source of truth the stats structs (`OverheadStats`,
 //! `SchemeStats`) re-derive from when a collector is installed.
 
-use daos_util::json::{Json, ToJson};
+use daos_util::json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// Log2-bucketed histogram of `u64` samples. Bucket `0` holds zeros;
@@ -86,6 +86,39 @@ impl Histogram {
             .map(|(i, &c)| (i as u64, c))
             .collect()
     }
+
+    /// The `p`-th percentile (0–100) of the distribution, estimated from
+    /// the log2 buckets: the sample of the matching rank is placed at
+    /// the midpoint of its bucket's `[2^(i-1), 2^i)` range, then clamped
+    /// to the exact `[min, max]` — so the estimate is within a factor of
+    /// ~1.5 of the true sample and p0/p100 are exact. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (self.count - 1) as f64).round() as u64;
+        if rank == 0 {
+            return self.min();
+        }
+        if rank == self.count - 1 {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let estimate = if i == 0 {
+                    0
+                } else {
+                    let lo = 1u64 << (i - 1);
+                    lo + lo / 2
+                };
+                return estimate.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
 }
 
 impl ToJson for Histogram {
@@ -97,6 +130,30 @@ impl ToJson for Histogram {
             ("max".into(), self.max.to_json()),
             ("buckets".into(), self.nonzero_buckets().to_json()),
         ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let count: u64 = v.field("count")?;
+        if count == 0 {
+            return Ok(Histogram::default());
+        }
+        let mut h = Histogram {
+            buckets: [0; 65],
+            count,
+            sum: v.field("sum")?,
+            min: v.field("min")?,
+            max: v.field("max")?,
+        };
+        for (i, c) in v.field::<Vec<(u64, u64)>>("buckets")? {
+            let i = usize::try_from(i)
+                .ok()
+                .filter(|&i| i < h.buckets.len())
+                .ok_or_else(|| JsonError::msg(format!("histogram bucket index {i} out of range")))?;
+            h.buckets[i] = c;
+        }
+        Ok(h)
     }
 }
 
@@ -172,6 +229,16 @@ impl Registry {
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
+
+    /// All gauges, sorted by key.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by key.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 impl ToJson for Registry {
@@ -181,6 +248,18 @@ impl ToJson for Registry {
             ("gauges".into(), self.gauges.to_json()),
             ("histograms".into(), self.hists.to_json()),
         ])
+    }
+}
+
+impl FromJson for Registry {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Unknown sibling keys (the exporter's `dropped_events` /
+        // `ring_capacity` trailer fields) are deliberately ignored.
+        Ok(Registry {
+            counters: v.field("counters")?,
+            gauges: v.field("gauges")?,
+            hists: v.field("histograms")?,
+        })
     }
 }
 
@@ -205,6 +284,12 @@ pub mod keys {
     /// Per-scheme counter key, e.g. `scheme.0.nr_applied`.
     pub fn scheme(idx: u32, field: &str) -> String {
         format!("scheme.{idx}.{field}")
+    }
+
+    /// Per-phase span-duration histogram key, e.g. `span.sample_ns`
+    /// (written by the collector on every `SpanExit`).
+    pub fn span(phase: crate::event::Phase) -> String {
+        format!("span.{}_ns", phase.key_name())
     }
 }
 
@@ -253,5 +338,51 @@ mod tests {
     #[test]
     fn scheme_key_shape() {
         assert_eq!(keys::scheme(2, "nr_tried"), "scheme.2.nr_tried");
+        assert_eq!(keys::span(crate::Phase::SchemeApply), "span.scheme_apply_ns");
+    }
+
+    #[test]
+    fn percentiles_from_log2_buckets() {
+        assert_eq!(Histogram::default().percentile(50.0), 0);
+        let mut h = Histogram::default();
+        for v in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 1000, 1000] {
+            h.record(v);
+        }
+        // p0/p100 hit the exact extreme ranks; p50 lands in bucket
+        // [64,128) → midpoint 96, clamped into [100, 1000].
+        assert_eq!(h.percentile(0.0), 100);
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.percentile(50.0), 100);
+        // p90 of 11 samples is rank 9 → the first 1000 outlier's bucket
+        // [512,1024) → midpoint 768.
+        assert_eq!(h.percentile(90.0), 768);
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(95.0), 0);
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        let mut h = Histogram::default();
+        for v in [0u64, 7, 7, 900, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        let empty = Histogram::from_json(&Histogram::default().to_json()).unwrap();
+        assert_eq!(empty, Histogram::default(), "empty min sentinel survives");
+    }
+
+    #[test]
+    fn registry_json_roundtrip_ignores_trailer_extras() {
+        let mut r = Registry::new();
+        r.counter_add("a.b", 5);
+        r.gauge_set("g", -1.5);
+        r.hist_record("h", 300);
+        let Json::Object(mut fields) = r.to_json() else { panic!("object") };
+        fields.push(("dropped_events".into(), 7u64.to_json()));
+        let back = Registry::from_json(&Json::Object(fields)).unwrap();
+        assert_eq!(back, r);
     }
 }

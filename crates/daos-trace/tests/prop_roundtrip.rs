@@ -2,7 +2,9 @@
 //! round-trip exactly — including full-width `u64` addresses (the
 //! reason `daos_util::json` keeps a dedicated unsigned lane).
 
-use daos_trace::{events_from_jsonl, events_to_jsonl, ActionTag, Event, SamplePhase, TimedEvent};
+use daos_trace::{
+    events_from_jsonl, events_to_jsonl, ActionTag, Event, Phase, SamplePhase, TimedEvent,
+};
 use daos_util::prop::vec_of;
 use daos_util::{prop_assert_eq, proptest};
 
@@ -17,13 +19,14 @@ const ACTIONS: [ActionTag; 8] = [
     ActionTag::LruDeprio,
 ];
 
-/// Deterministically build one of the 17 event variants from raw draws.
+/// Deterministically build one of the 20 event variants from raw draws.
 fn build_event(kind: usize, a: u64, b: u64) -> Event {
     let pid = (a % 10_000) as u32;
     let scheme = (a % 8) as u32;
     let action = ACTIONS[(b % 8) as usize];
     let flag = a & 1 == 0;
     let phase = if flag { SamplePhase::Global } else { SamplePhase::Local };
+    let span_phase = Phase::ALL[(a % 5) as usize];
     let x = a as f64 * 1e-3;
     let y = b as f64 * 1e-3;
     match kind {
@@ -36,7 +39,10 @@ fn build_event(kind: usize, a: u64, b: u64) -> Event {
         6 => Event::SamplingTick { checks: a, nr_regions: b, work_ns: a.wrapping_mul(40) },
         7 => Event::RegionSplit { before: a, after: b },
         8 => Event::RegionMerge { before: a, after: b },
-        9 => Event::Aggregation { nr_regions: a, window_ns: b },
+        9 => Event::Aggregation { nr_regions: a, window_ns: b, max_nr_accesses: a % 1000 },
+        17 => Event::RegionSnapshot { start: a, end: a.max(b), nr_accesses: b % 1000, age: a % 64 },
+        18 => Event::SpanEnter { phase: span_phase },
+        19 => Event::SpanExit { phase: span_phase, dur_ns: b },
         10 => Event::SchemeMatch { scheme, bytes: b },
         11 => Event::SchemeApply { scheme, action, bytes: b },
         12 => Event::QuotaThrottle { scheme, skipped_bytes: b },
@@ -51,7 +57,7 @@ proptest! {
     cases = 256;
 
     fn single_event_jsonl_roundtrip(
-        kind in 0usize..17,
+        kind in 0usize..20,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         at in 0u64..u64::MAX,
@@ -65,7 +71,7 @@ proptest! {
     }
 
     fn event_stream_jsonl_roundtrip(
-        batch in vec_of((0usize..17, 0u64..u64::MAX, 0u64..u64::MAX), 0usize..24),
+        batch in vec_of((0usize..20, 0u64..u64::MAX, 0u64..u64::MAX), 0usize..24),
     ) {
         let events: Vec<TimedEvent> = batch
             .iter()

@@ -102,6 +102,9 @@ pub fn tune<F: FnMut(f64) -> f64>(cfg: &TunerConfig, mut eval: F) -> TuneResult 
         _ => best_so_far.unwrap_or((cfg.range.0, f64::NEG_INFINITY)),
     };
     daos_trace::trace!(now, TunerStep { best_x, best_score });
+    // One TunerStep span covers the whole procedure: enter at virtual 0,
+    // exit at `now` (the time the sampling budget actually consumed).
+    daos_trace::span!(0, TunerStep, now);
     TuneResult { samples, curve, best_x, best_score, nr_global }
 }
 

@@ -631,6 +631,18 @@ impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
     }
 }
 
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(JsonError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
 /// Generate [`ToJson`]/[`FromJson`] for a struct with named fields, all
 /// of which are themselves `ToJson + FromJson`:
 ///

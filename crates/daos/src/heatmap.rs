@@ -223,6 +223,85 @@ mod tests {
     }
 
     #[test]
+    fn single_snapshot_record_rasterises() {
+        // One aggregation window: every access lands in one column, the
+        // degenerate t0 == t1 time span must not divide by zero.
+        let mut rec = MonitorRecord::new();
+        rec.push(Aggregation {
+            at: sec(3),
+            regions: vec![RegionInfo {
+                range: AddrRange::new(0, 1 << 20),
+                nr_accesses: 10,
+                age: 0,
+            }],
+            max_nr_accesses: 20,
+            aggregation_interval: sec(1),
+        });
+        let hm = Heatmap::from_record(&rec, AddrRange::new(0, 1 << 20), 4, 4).unwrap();
+        assert_eq!(hm.time_span, (sec(3), sec(3)));
+        assert!(hm.cells.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        // The single window maps to column 0; it must carry the signal.
+        assert!(hm.cell(0, 0) > 0.4, "cell(0,0) = {}", hm.cell(0, 0));
+    }
+
+    #[test]
+    fn zero_width_span_and_zero_cells_give_none() {
+        let rec = record_hot_low_half();
+        let zero = AddrRange::new(1 << 20, 1 << 20);
+        assert!(Heatmap::from_record(&rec, zero, 4, 4).is_none());
+        let span = AddrRange::new(0, 2 << 20);
+        assert!(Heatmap::from_record(&rec, span, 0, 4).is_none());
+        assert!(Heatmap::from_record(&rec, span, 4, 0).is_none());
+    }
+
+    daos_util::proptest! {
+        cases = 64;
+
+        /// Whatever the record shape, every rasterised cell is a valid
+        /// frequency ratio: a weighted average of `freq_ratio` values
+        /// can never leave 0.0..=1.0.
+        fn cells_stay_normalised(
+            nr_windows in 1u64..12,
+            nr_regions in 1u64..6,
+            stride in 1u64..(4 << 20),
+            accesses in 0u32..40,
+            nr_cols in 1usize..24,
+            nr_rows in 1usize..16,
+        ) {
+            let mut rec = MonitorRecord::new();
+            for w in 0..nr_windows {
+                let mut regions = Vec::new();
+                for r in 0..nr_regions {
+                    // Deterministic per-(window, region) variation,
+                    // respecting the monitor invariant
+                    // `nr_accesses <= max_nr_accesses`.
+                    let acc = (accesses as u64 + w * 7 + r * 3) % 21;
+                    regions.push(RegionInfo {
+                        range: AddrRange::new(r * stride, (r + 1) * stride),
+                        nr_accesses: acc as u32,
+                        age: (w % 5) as u32,
+                    });
+                }
+                rec.push(Aggregation {
+                    at: sec(w),
+                    regions,
+                    max_nr_accesses: 20,
+                    aggregation_interval: sec(1),
+                });
+            }
+            let span = biggest_active_span(&rec).expect("non-empty record");
+            if let Some(hm) = Heatmap::from_record(&rec, span, nr_cols, nr_rows) {
+                daos_util::prop_assert!(
+                    hm.cells.iter().all(|&c| (0.0..=1.0).contains(&c) && c.is_finite()),
+                    "cell out of range: {:?}",
+                    hm.cells.iter().find(|c| !(0.0..=1.0).contains(*c))
+                );
+                daos_util::prop_assert_eq!(hm.cells.len(), nr_cols * nr_rows);
+            }
+        }
+    }
+
+    #[test]
     fn biggest_active_span_skips_gaps() {
         let mut rec = MonitorRecord::new();
         rec.push(Aggregation {

@@ -41,5 +41,6 @@ pub use metrics::{score_inputs, score_vs_baseline, Normalized};
 pub use multi::{MultiMonitor, TargetAggregation};
 pub use recordio::{
     record_from_csv, record_from_jsonl, record_to_csv, record_to_jsonl, RecordError, WssReport,
+    RECORD_HEADER,
 };
 pub use runner::{run, RunResult};

@@ -53,8 +53,39 @@ if [ -n "$bad" ]; then
 fi
 echo "ok"
 
-echo "== offline release build =="
-cargo build --release --offline
+echo "== offline release build (must be warning-free) =="
+# `cargo build` replays cached warnings for already-built crates, so
+# grepping the build output catches warnings even on incremental runs.
+build_log=$(cargo build --release --offline 2>&1) || {
+    echo "$build_log"
+    exit 1
+}
+if echo "$build_log" | grep -q "^warning"; then
+    echo "$build_log" | grep -A 5 "^warning"
+    echo "FAIL: release build emits warnings"
+    exit 1
+fi
+echo "ok"
+
+echo "== golden: fixed-seed trace reports are byte-stable =="
+# Record a small fixed-seed trace and diff the offline reports against
+# checked-in golden files. Any drift in the monitor, the trace schema,
+# or the report renderers shows up here as a diff.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+target/release/daos trace parsec3/freqmine --config rec --epochs 200 \
+    --seed 42 --ring 1048576 --out "$tmp/trace.jsonl" > /dev/null
+target/release/daos report wss "$tmp/trace.jsonl" > "$tmp/wss.txt"
+target/release/daos report summary "$tmp/trace.jsonl" > "$tmp/summary.txt"
+diff -u tests/golden/trace_wss.txt "$tmp/wss.txt" || {
+    echo "FAIL: report wss drifted from tests/golden/trace_wss.txt"
+    exit 1
+}
+diff -u tests/golden/trace_summary.txt "$tmp/summary.txt" || {
+    echo "FAIL: report summary drifted from tests/golden/trace_summary.txt"
+    exit 1
+}
+echo "ok"
 
 echo "== offline test suite (workspace) =="
 cargo test -q --offline --workspace

@@ -1,0 +1,203 @@
+//! The seeded perf trajectory: median-of-N timings of the simulator's
+//! hot paths — the monitoring tick (sampling), a full aggregation window
+//! (aggregate + split/merge), the schemes-engine apply pass, and the
+//! same monitor loop with tracing enabled vs disabled — written to
+//! `BENCH_pipeline.json` at the repo root as the regression baseline.
+//!
+//! `pipeline --quick` shrinks samples/iterations for CI smoke runs
+//! (verify.sh only checks the artifact is well-formed JSON);
+//! `DAOS_BENCH_OUT` overrides the output path.
+
+use daos_mm::addr::AddrRange;
+use daos_mm::clock::ms;
+use daos_mm::{MemorySystem, SwapConfig, ThpMode};
+use daos_mm::access::AccessBatch;
+use daos_monitor::{
+    Aggregation, MonitorAttrs, MonitorCtx, RegionInfo, SyntheticPrimitives, SyntheticSpace,
+};
+use daos_schemes::{parse_scheme_line, SchemeTarget, SchemesEngine};
+use daos_util::bench::{Harness, Timing};
+use daos_util::json::Json;
+use std::hint::black_box;
+
+const TARGET: AddrRange = AddrRange::new(0, 64 << 20);
+
+fn attrs() -> MonitorAttrs {
+    MonitorAttrs::paper_defaults()
+}
+
+fn fresh_monitor() -> (SyntheticSpace, MonitorCtx<SyntheticPrimitives>, Vec<Aggregation>) {
+    let mut env = SyntheticSpace::new(vec![TARGET]);
+    env.touch_range(AddrRange::new(0, TARGET.len() / 4));
+    let ctx = MonitorCtx::new(attrs(), SyntheticPrimitives, &env, 0, 42);
+    (env, ctx, Vec::new())
+}
+
+/// One sampling tick (the per-`sampling_interval` cost: young-bit checks
+/// over at most `2 * max_nr_regions` sampled pages).
+fn bench_monitor_tick(h: &mut Harness, iters: u64) {
+    let (mut env, mut ctx, mut sink) = fresh_monitor();
+    let step = attrs().sampling_interval;
+    let mut now = 0;
+    h.bench_iters("monitor/sample_tick", iters, || {
+        now += step;
+        ctx.step(&mut env, now, &mut sink);
+        sink.clear();
+        black_box(ctx.regions().len())
+    });
+}
+
+/// One full aggregation window: every sampling tick of the window plus
+/// the window-close work (aggregate + adaptive split/merge).
+fn bench_monitor_window(h: &mut Harness, iters: u64) {
+    let (mut env, mut ctx, mut sink) = fresh_monitor();
+    let a = attrs();
+    let ticks = (a.aggregation_interval / a.sampling_interval).max(1);
+    let mut now = 0;
+    h.bench_iters("monitor/aggregate_window", iters, || {
+        for _ in 0..ticks {
+            now += a.sampling_interval;
+            ctx.step(&mut env, now, &mut sink);
+        }
+        let windows = sink.len();
+        sink.clear();
+        black_box(windows)
+    });
+}
+
+/// The schemes-engine apply pass over a 1000-region window against a
+/// real memory system (steady state: matching + action attempts).
+fn bench_scheme_apply(h: &mut Harness, iters: u64) {
+    let machine = daos_mm::MachineProfile::i3_metal();
+    let mut sys = MemorySystem::new(machine, SwapConfig::paper_zram(), 42);
+    let pid = sys.spawn();
+    let range = sys.mmap(pid, 1 << 30, ThpMode::Never).expect("mmap 1 GiB");
+    sys.apply_access(pid, &AccessBatch::all(range, 1.0)).expect("fault in");
+
+    let scheme = parse_scheme_line("4K max min min 5s max pageout").expect("static scheme");
+    let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![scheme]);
+    let nr = 1000u64;
+    let slice = range.len() / nr;
+    let agg = Aggregation {
+        at: 0,
+        regions: (0..nr)
+            .map(|i| RegionInfo {
+                range: AddrRange::new(range.start + i * slice, range.start + (i + 1) * slice),
+                nr_accesses: (i % 3 == 0) as u32,
+                age: 100,
+            })
+            .collect(),
+        max_nr_accesses: 20,
+        aggregation_interval: ms(100),
+    };
+    h.bench_iters("schemes/apply_1000_regions", iters, || {
+        black_box(engine.on_aggregation(&mut sys, &agg).work_ns)
+    });
+}
+
+/// The identical monitor loop with the trace collector absent vs
+/// installed — the zero-overhead-when-disabled claim, quantified.
+fn bench_trace_toggle(h: &mut Harness, iters: u64) {
+    for enabled in [false, true] {
+        let (mut env, mut ctx, mut sink) = fresh_monitor();
+        let step = attrs().sampling_interval;
+        let mut now = 0;
+        if enabled {
+            daos_trace::install(daos_trace::Collector::builder().build().expect("collector"))
+                .expect("no collector installed yet");
+        }
+        let name =
+            if enabled { "trace/monitor_tick_enabled" } else { "trace/monitor_tick_disabled" };
+        h.bench_iters(name, iters, || {
+            now += step;
+            ctx.step(&mut env, now, &mut sink);
+            sink.clear();
+            black_box(ctx.regions().len())
+        });
+        if enabled {
+            daos_trace::take();
+        }
+    }
+}
+
+fn timing_json(t: &Timing) -> Json {
+    Json::Object(vec![
+        ("median_ns".into(), Json::F64(t.median_ns)),
+        ("min_ns".into(), Json::F64(t.min_ns)),
+        ("max_ns".into(), Json::F64(t.max_ns)),
+        ("iters".into(), Json::U64(t.iters)),
+    ])
+}
+
+fn out_path() -> std::path::PathBuf {
+    match std::env::var("DAOS_BENCH_OUT") {
+        Ok(p) => p.into(),
+        // The repo root, two levels above this crate's manifest.
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_pipeline.json"),
+    }
+}
+
+/// `pipeline --check FILE`: exit 0 iff FILE parses as JSON (the
+/// verify.sh well-formedness probe, sharing the in-tree parser).
+fn check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pipeline --check: cannot read {path}: {e}");
+            std::process::exit(74);
+        }
+    };
+    match daos_util::json::parse(&text) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("pipeline --check: {path} is not valid JSON: {e}");
+            std::process::exit(65);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--check") {
+        match argv.get(i + 1) {
+            Some(path) => check(path),
+            None => {
+                eprintln!("pipeline --check needs a file argument");
+                std::process::exit(64);
+            }
+        }
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 20 };
+    let iters = if quick { 5 } else { 100 };
+    let mut h = Harness::new("pipeline", samples).progress_to(Box::new(std::io::stdout()));
+
+    bench_monitor_tick(&mut h, iters * 4);
+    bench_monitor_window(&mut h, iters);
+    bench_scheme_apply(&mut h, iters);
+    bench_trace_toggle(&mut h, iters * 4);
+
+    let results: Vec<(String, Json)> =
+        h.results().iter().map(|(name, t)| (name.clone(), timing_json(t))).collect();
+    let doc = Json::Object(vec![
+        ("bench".into(), Json::Str("pipeline".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("samples".into(), Json::U64(samples as u64)),
+        ("results".into(), Json::Object(results)),
+    ]);
+    let text = doc.to_string_compact();
+
+    // Self-validate before writing: the artifact must re-parse.
+    if let Err(e) = daos_util::json::parse(&text) {
+        eprintln!("pipeline: generated artifact is not valid JSON: {e}");
+        std::process::exit(70);
+    }
+    let path = out_path();
+    if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+        eprintln!("pipeline: cannot write {}: {e}", path.display());
+        std::process::exit(74);
+    }
+    println!("[artifact] {}", path.display());
+}

@@ -16,7 +16,8 @@ pub struct Args {
 /// Option keys that take a value (everything else is a boolean flag).
 const VALUE_OPTIONS: &[&str] = &[
     "machine", "out", "seed", "rows", "cols", "schemes-file", "scheme", "range", "samples",
-    "swap", "min-age", "duration", "config", "ring", "epochs",
+    "swap", "min-age", "duration", "config", "ring", "epochs", "serve", "refresh",
+    "iterations", "publish-every",
 ];
 
 impl Args {

@@ -1,11 +1,15 @@
 //! Subcommand implementations.
 
 use std::fs;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
 
 use daos::{
-    biggest_active_span, record_from_csv, record_to_csv, run, score_inputs,
-    score_vs_baseline, DaosError, Heatmap, Normalized, RunConfig, WssReport,
+    biggest_active_span, record_from_csv, record_to_csv, run, run_observed, score_inputs,
+    score_vs_baseline, DaosError, Heatmap, Normalized, RunConfig, RunResult, WssReport,
 };
+use daos_obs::{Dashboard, EpochPublisher, ObsServer, ObsSnapshot, Publisher};
 use daos_mm::clock::{sec, SEC};
 use daos_mm::{MemorySystem, SwapConfig};
 use daos_monitor::{MonitorAttrs, MonitorCtx, PaddrPrimitives};
@@ -249,8 +253,250 @@ pub fn schemes(args: &Args) -> Result<(), DaosError> {
     Ok(())
 }
 
+/// Bind the observability server on `addr`, run the workload with an
+/// [`EpochPublisher`] attached, and publish the final snapshot. The
+/// caller installs (and takes back) the trace collector; when one is
+/// installed the published snapshots carry its registry and ring tail.
+fn run_serving(
+    addr: &str,
+    machine: &daos_mm::MachineProfile,
+    config: &RunConfig,
+    spec: &daos_workloads::WorkloadSpec,
+    seed: u64,
+    publish_every: u64,
+) -> Result<(RunResult, ObsServer), DaosError> {
+    let publisher = Publisher::new();
+    let server =
+        ObsServer::bind(addr, publisher.clone()).map_err(|e| DaosError::io(addr, e))?;
+    println!("serving observability on {}", server.addr());
+    let mut obs = EpochPublisher::new(
+        publisher,
+        &config.name,
+        &spec.path_name(),
+        &machine.name,
+        publish_every,
+    );
+    let result = run_observed(machine, config, spec, seed, Some(&mut obs))?;
+    obs.finalize(&result);
+    Ok((result, server))
+}
+
+/// With `--linger`, keep the endpoint serving the final snapshot until
+/// the process is killed (how `scripts/verify.sh` probes a live server).
+fn maybe_linger(args: &Args, server: &ObsServer) {
+    if !args.flag("linger") {
+        return;
+    }
+    println!("run complete; serving final snapshot on {} until killed", server.addr());
+    loop {
+        thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Warn about trace-ring overflow at most once per run, with the final
+/// dropped count. Publish/export paths may observe the ring many times
+/// while it keeps overwriting; warning at each observation would repeat
+/// the message with stale intermediate numbers.
+fn warn_ring_overflow_once(warned: &mut bool, dropped: u64, capacity: usize) {
+    if dropped == 0 || *warned {
+        return;
+    }
+    *warned = true;
+    eprintln!(
+        "warning: ring overflowed — {dropped} events dropped (capacity {capacity}); \
+         re-run with a larger --ring to keep the full stream"
+    );
+}
+
+fn print_run_summary(result: &RunResult) {
+    println!(
+        "ran {} under '{}' on {}: {:.1}s virtual runtime, avg RSS {} MiB, peak {} MiB",
+        result.workload,
+        result.config,
+        result.machine,
+        result.runtime_ns as f64 / 1e9,
+        result.avg_rss >> 20,
+        result.peak_rss >> 20,
+    );
+    if result.overhead.is_some() {
+        println!("monitoring cost: {:.2}% of one CPU", result.monitor_cpu_share() * 100.0);
+    }
+    for (i, st) in result.scheme_stats.iter().enumerate() {
+        println!(
+            "scheme {i}: tried {} regions / {} MiB, applied {} / {} MiB",
+            st.nr_tried,
+            st.sz_tried >> 20,
+            st.nr_applied,
+            st.sz_applied >> 20
+        );
+    }
+}
+
+/// `daos run <workload>`: one configuration, summarised. With
+/// `--serve ADDR` the run also exposes the live observability endpoint
+/// (`/metrics`, `/snapshot`, `/events`, `/healthz`); without it, no
+/// publisher, server thread or collector is ever constructed — the run
+/// loop's observation hook stays a single untaken branch.
+pub fn run_cmd(args: &Args) -> Result<(), DaosError> {
+    let mut spec = lookup(args)?;
+    let machine = args.machine()?;
+    let seed = args.seed()?;
+    let config = named_config(args.opt("config").unwrap_or("prcl"))?;
+    let epochs: u64 = args.opt_num("epochs", spec.nr_epochs)?;
+    spec.nr_epochs = epochs.min(spec.nr_epochs);
+
+    let Some(addr) = args.opt("serve") else {
+        let result = run(&machine, &config, &spec, seed)?;
+        print_run_summary(&result);
+        return Ok(());
+    };
+
+    // Serving implies telemetry: install a collector so `/metrics` and
+    // `/events` have a registry and ring to publish.
+    let ring: usize = args.opt_num("ring", daos_trace::DEFAULT_RING_CAPACITY)?;
+    let publish_every: u64 = args.opt_num("publish-every", 1)?;
+    daos_trace::install(daos_trace::Collector::builder().ring_capacity(ring).build()?)?;
+    let served = run_serving(addr, &machine, &config, &spec, seed, publish_every);
+    let collector = daos_trace::take().expect("collector installed above");
+    let (result, server) = served?;
+    print_run_summary(&result);
+    let mut warned = false;
+    warn_ring_overflow_once(&mut warned, collector.ring().dropped(), collector.ring().capacity());
+    maybe_linger(args, &server);
+    Ok(())
+}
+
+fn show_frame(dash: &mut Dashboard, snap: &ObsSnapshot, plain: bool) {
+    let frame = dash.frame(snap);
+    if plain {
+        print!("{frame}");
+    } else {
+        // ANSI clear-screen + cursor-home, then the fresh frame.
+        print!("\x1b[2J\x1b[H{frame}");
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// `daos top <ADDR | workload>`: live dashboard. A `host:port` argument
+/// attaches to a running `--serve` endpoint over `/snapshot`; a workload
+/// name runs it in-process and watches it live.
+pub fn top(args: &Args) -> Result<(), DaosError> {
+    let target = args.pos(0).ok_or_else(|| {
+        DaosError::usage("daos top needs an ADDR (host:port) or a workload (see `daos list`)")
+    })?;
+    let refresh = Duration::from_millis(args.opt_num("refresh", 500u64)?);
+    let iterations: u64 = args.opt_num("iterations", 0)?; // 0 = until the run finishes
+    let plain = args.flag("plain");
+    match target.parse::<SocketAddr>() {
+        Ok(addr) => top_remote(addr, refresh, iterations, plain),
+        Err(_) => top_inprocess(args, refresh, iterations, plain),
+    }
+}
+
+fn top_remote(
+    addr: SocketAddr,
+    refresh: Duration,
+    iterations: u64,
+    plain: bool,
+) -> Result<(), DaosError> {
+    use daos_util::json::FromJson;
+    let mut dash = Dashboard::new();
+    let mut shown = 0u64;
+    loop {
+        let resp = daos_obs::http::http_get(addr, "/snapshot", Duration::from_secs(5))
+            .map_err(|e| DaosError::io(addr.to_string(), e))?;
+        if resp.status != 200 {
+            return Err(DaosError::usage(format!(
+                "GET /snapshot from {addr} returned status {}",
+                resp.status
+            )));
+        }
+        let snap = ObsSnapshot::from_json(&daos_util::json::parse(&resp.body)?)?;
+        show_frame(&mut dash, &snap, plain);
+        shown += 1;
+        if snap.finished || (iterations > 0 && shown >= iterations) {
+            return Ok(());
+        }
+        thread::sleep(refresh);
+    }
+}
+
+fn top_inprocess(
+    args: &Args,
+    refresh: Duration,
+    iterations: u64,
+    plain: bool,
+) -> Result<(), DaosError> {
+    let mut spec = lookup(args)?;
+    let machine = args.machine()?;
+    let seed = args.seed()?;
+    let config = named_config(args.opt("config").unwrap_or("prcl"))?;
+    let epochs: u64 = args.opt_num("epochs", spec.nr_epochs)?;
+    spec.nr_epochs = epochs.min(spec.nr_epochs);
+    let ring: usize = args.opt_num("ring", daos_trace::DEFAULT_RING_CAPACITY)?;
+    let publish_every: u64 = args.opt_num("publish-every", 1)?;
+
+    let publisher = Publisher::new();
+    let worker = {
+        let publisher = publisher.clone();
+        thread::spawn(move || -> Result<(), DaosError> {
+            // The collector is thread-local: install on the run thread so
+            // the publisher snapshots this run's registry and ring.
+            daos_trace::install(
+                daos_trace::Collector::builder().ring_capacity(ring).build()?,
+            )?;
+            let mut obs = EpochPublisher::new(
+                publisher.clone(),
+                &config.name,
+                &spec.path_name(),
+                &machine.name,
+                publish_every,
+            );
+            let run_result = run_observed(&machine, &config, &spec, seed, Some(&mut obs));
+            let outcome = match run_result {
+                Ok(result) => {
+                    obs.finalize(&result);
+                    Ok(())
+                }
+                Err(e) => {
+                    // Unblock the dashboard loop on failure too.
+                    publisher.finish();
+                    Err(DaosError::from(e))
+                }
+            };
+            daos_trace::take();
+            outcome
+        })
+    };
+
+    let mut dash = Dashboard::new();
+    let mut shown = 0u64;
+    loop {
+        let finished = publisher.is_finished();
+        let snap = publisher.snapshot();
+        if snap.seq > 0 {
+            show_frame(&mut dash, &snap, plain);
+            shown += 1;
+        }
+        if finished || (iterations > 0 && shown >= iterations) {
+            break;
+        }
+        thread::sleep(refresh);
+    }
+    worker.join().map_err(|_| DaosError::usage("run thread panicked"))??;
+    // One last frame so the DONE state is what remains on screen.
+    let snap = publisher.snapshot();
+    if snap.seq > 0 {
+        show_frame(&mut dash, &snap, plain);
+    }
+    Ok(())
+}
+
 /// `daos trace <workload>`: run a workload with the telemetry collector
 /// installed and emit the event stream as JSONL (stdout or `--out`).
+/// With `--serve ADDR`, also expose the live observability endpoint for
+/// the duration of the run.
 pub fn trace(args: &Args) -> Result<(), DaosError> {
     let mut spec = lookup(args)?;
     let machine = args.machine()?;
@@ -263,19 +509,31 @@ pub fn trace(args: &Args) -> Result<(), DaosError> {
     daos_trace::install(daos_trace::Collector::builder().ring_capacity(ring).build()?)?;
     // Take the collector back even if the run fails, so a retry in the
     // same process does not hit AlreadyInstalled.
-    let run_result = run(&machine, &config, &spec, seed);
+    let mut server = None;
+    let run_result = match args.opt("serve") {
+        None => run(&machine, &config, &spec, seed).map_err(DaosError::from),
+        Some(addr) => {
+            let publish_every: u64 = args.opt_num("publish-every", 1)?;
+            run_serving(addr, &machine, &config, &spec, seed, publish_every).map(
+                |(result, srv)| {
+                    server = Some(srv);
+                    result
+                },
+            )
+        }
+    };
     let collector = daos_trace::take().expect("collector installed above");
     let result = run_result?;
 
     let jsonl = daos_trace::export_collector(&collector);
-    if collector.ring().dropped() > 0 {
-        eprintln!(
-            "warning: ring overflowed — {} events dropped (capacity {}); \
-             re-run with a larger --ring to keep the full stream",
-            collector.ring().dropped(),
-            collector.ring().capacity()
-        );
-    }
+    // One warning per run, with the final count (not one per export or
+    // per publish interval).
+    let mut ring_warned = false;
+    warn_ring_overflow_once(
+        &mut ring_warned,
+        collector.ring().dropped(),
+        collector.ring().capacity(),
+    );
     match args.opt("out") {
         Some(path) => {
             fs::write(path, &jsonl).map_err(|e| DaosError::io(path, e))?;
@@ -299,6 +557,9 @@ pub fn trace(args: &Args) -> Result<(), DaosError> {
         }
         // Bare `daos trace` streams the JSONL itself, pipeline-friendly.
         None => print!("{jsonl}"),
+    }
+    if let Some(server) = &server {
+        maybe_linger(args, server);
     }
     Ok(())
 }

@@ -14,6 +14,16 @@ USAGE:
 
 SUBCOMMANDS:
     list                      list the available workload analogs
+    run <workload>            run one configuration and print a summary
+        [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
+        [--machine i3|m5d|z1d] [--seed N] [--epochs N]
+        [--serve ADDR]        expose live /metrics /snapshot /events
+                              /healthz while the run executes
+        [--publish-every N] [--ring N] [--linger]
+    top <ADDR | workload>     live dashboard (WSS sparkline, hottest
+        regions, scheme state, span latencies); ADDR attaches to a
+        --serve endpoint, a workload name runs it in-process
+        [--refresh MS] [--iterations N] [--plain] [--config ...]
     record <workload>         monitor a workload, write a record file
         [--machine i3|m5d|z1d] [--paddr] [--seed N] [--out FILE]
     report heatmap <FILE>     render a record or trace as an ASCII heatmap
@@ -32,6 +42,7 @@ SUBCOMMANDS:
         the event stream as JSONL (stdout, or --out FILE with a summary)
         [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
         [--ring N] [--epochs N] [--machine ...] [--seed N] [--out FILE]
+        [--serve ADDR] [--publish-every N] [--linger]
     tune <workload>           auto-tune the prcl scheme's min_age
         [--range LO:HI] [--samples N] [--machine ...] [--seed N]
     fleet                     the serverless production scenario
@@ -50,6 +61,8 @@ fn main() {
     let result = (|| -> Result<(), DaosError> {
         match sub.as_str() {
             "list" => commands::list(),
+            "run" => commands::run_cmd(&Args::parse(raw)?),
+            "top" => commands::top(&Args::parse(raw)?),
             "record" => commands::record(&Args::parse(raw)?),
             "report" => {
                 if raw.is_empty() {

@@ -1,0 +1,233 @@
+//! Just enough HTTP/1.1 on `std::net` for the observability plane: a
+//! request-line parser and response writers for the server side, and a
+//! blocking `GET` client (with chunked-transfer decoding) used by
+//! `daos top ADDR`, the integration tests, and the `obs-get` smoke
+//! helper — no external dependencies anywhere.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed request head. Headers beyond the request line are read and
+/// discarded — the observability endpoints key on method + path only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Request target path including any query string.
+    pub path: String,
+}
+
+/// Read one request head from `reader`. Returns `None` on a clean EOF
+/// before any bytes (client closed an idle connection).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut words = line.split_whitespace();
+    let (method, path) = match (words.next(), words.next(), words.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line: {line:?}"),
+            ))
+        }
+    };
+    let request = Request { method: method.to_string(), path: path.to_string() };
+    // Drain headers up to the blank line; we don't interpret them.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            return Ok(Some(request));
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    }
+}
+
+/// Write a complete response with a `Content-Length` body.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// Start a chunked response; follow with [`write_chunk`] calls and a
+/// final [`finish_chunked`].
+pub fn start_chunked(stream: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Write one non-empty chunk (empty input is skipped: a zero-length
+/// chunk would terminate the stream).
+pub fn write_chunk(stream: &mut impl Write, data: &str) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n{}\r\n", data.len(), data)?;
+    stream.flush()
+}
+
+/// Terminate a chunked response.
+pub fn finish_chunked(stream: &mut impl Write) -> io::Result<()> {
+    write!(stream, "0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// A fetched response: status code and decoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body with `Content-Length` or chunked framing removed.
+    pub body: String,
+}
+
+/// Blocking `GET {path}` against `addr` with per-operation `timeout`.
+/// Decodes both `Content-Length` and chunked bodies; for chunked streams
+/// that outlive the timeout (e.g. `/events` on a live run), returns
+/// whatever arrived before the socket timed out.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    write!(writer, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status line: {status_line:?}"))
+        })?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok();
+        } else if let Some(v) = lower.strip_prefix("transfer-encoding:") {
+            chunked = v.trim() == "chunked";
+        }
+    }
+
+    let mut body = String::new();
+    if chunked {
+        // Tolerate timeouts mid-stream: keep what we have.
+        if let Err(e) = read_chunked(&mut reader, &mut body) {
+            if !matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                return Err(e);
+            }
+        }
+    } else if let Some(len) = content_length {
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        body = String::from_utf8_lossy(&buf).into_owned();
+    } else {
+        reader.read_to_string(&mut body)?;
+    }
+    Ok(Response { status, body })
+}
+
+fn read_chunked(reader: &mut impl BufRead, body: &mut String) -> io::Result<()> {
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Ok(());
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad chunk size: {size_line:?}"))
+        })?;
+        if size == 0 {
+            let mut trailer = String::new();
+            let _ = reader.read_line(&mut trailer);
+            return Ok(());
+        }
+        let mut buf = vec![0u8; size];
+        reader.read_exact(&mut buf)?;
+        body.push_str(&String::from_utf8_lossy(&buf));
+        let mut crlf = String::new();
+        reader.read_line(&mut crlf)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_line_parses_and_headers_are_drained() {
+        let raw = "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req, Request { method: "GET".into(), path: "/metrics".into() });
+        assert!(read_request(&mut Cursor::new("")).unwrap().is_none(), "EOF is a clean close");
+        assert!(read_request(&mut Cursor::new("nonsense\r\n\r\n")).is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_client_decoder() {
+        // Serve a fixed-length and a chunked body over a real socket pair
+        // so http_get exercises its full path.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let req = read_request(&mut BufReader::new(s.try_clone().unwrap()))
+                    .unwrap()
+                    .unwrap();
+                if req.path == "/plain" {
+                    write_response(&mut s, 200, "text/plain", "hello daos").unwrap();
+                } else {
+                    start_chunked(&mut s, "application/jsonl").unwrap();
+                    write_chunk(&mut s, "{\"a\":1}\n").unwrap();
+                    write_chunk(&mut s, "").unwrap();
+                    write_chunk(&mut s, "{\"b\":2}\n").unwrap();
+                    finish_chunked(&mut s).unwrap();
+                }
+            }
+        });
+        let t = Duration::from_secs(5);
+        let plain = http_get(addr, "/plain", t).unwrap();
+        assert_eq!((plain.status, plain.body.as_str()), (200, "hello daos"));
+        let chunked = http_get(addr, "/chunked", t).unwrap();
+        assert_eq!(chunked.body, "{\"a\":1}\n{\"b\":2}\n");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! # daos-obs — the live observability plane
+//!
+//! Everything needed to watch a DAOS simulation while it runs, built on
+//! `std` only (per the workspace's hermetic zero-dependency rule):
+//!
+//! - [`snapshot::ObsSnapshot`] — one published view of a run: epoch
+//!   progress, working-set estimate, the latest aggregation window,
+//!   per-scheme stats, monitoring overhead, and a full metrics-registry
+//!   snapshot; JSON-round-trippable via `daos-util`.
+//! - [`publisher::Publisher`] — the shared state between the simulation
+//!   thread and any number of readers. Publishing is an `Arc` swap;
+//!   readers clone the `Arc` and always see an internally consistent
+//!   snapshot. A bounded event tail with global sequence numbers feeds
+//!   live `/events` subscribers.
+//! - [`publisher::EpochPublisher`] — the [`daos::RunObserver`] that
+//!   builds and publishes snapshots every N epochs from inside the run
+//!   loop (and a final one via
+//!   [`finalize`](publisher::EpochPublisher::finalize)).
+//! - [`server::ObsServer`] — a thread-per-connection HTTP/1.1 endpoint
+//!   on `std::net::TcpListener` serving `GET /metrics` (Prometheus text
+//!   exposition), `/snapshot` (JSON), `/events` (chunked live JSONL),
+//!   and `/healthz`.
+//! - [`top::Dashboard`] — the `daos top` frame renderer (WSS sparkline,
+//!   hottest regions, scheme quota state, span p50/p95).
+//! - [`http::http_get`] — the std-only blocking client used by
+//!   `daos top ADDR`, the tests, and the `obs-get` verify helper.
+//!
+//! The whole plane is opt-in: without `--serve`, `daos run` never
+//! constructs a publisher and the run loop's observation hook stays a
+//! single untaken branch.
+
+pub mod http;
+pub mod prom;
+pub mod publisher;
+pub mod server;
+pub mod snapshot;
+pub mod top;
+
+pub use publisher::{EpochPublisher, Publisher, DEFAULT_TAIL_CAPACITY};
+pub use server::ObsServer;
+pub use snapshot::ObsSnapshot;
+pub use top::Dashboard;

@@ -1,0 +1,277 @@
+//! Prometheus text exposition (format 0.0.4) rendered from an
+//! [`ObsSnapshot`], plus a strict line parser used by the tests and the
+//! verify smoke to assert the output really is well-formed.
+//!
+//! Mapping from registry keys:
+//! - dotted keys become `daos_`-prefixed underscore names
+//!   (`monitor.work_ns` → `daos_monitor_work_ns`);
+//! - per-scheme counters `scheme.<i>.<field>` collapse into one family
+//!   per field with a `scheme` label
+//!   (`daos_scheme_nr_applied{scheme="0"}`);
+//! - log2 histograms render as native Prometheus histograms with
+//!   power-of-two `le` bounds plus `_sum`/`_count`.
+
+use crate::snapshot::ObsSnapshot;
+use daos_trace::{Histogram, Registry};
+use std::collections::BTreeMap;
+
+/// Mangle a dotted registry key into a Prometheus metric name.
+fn mangle(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 5);
+    out.push_str("daos_");
+    for c in key.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
+    family(out, name, "histogram", "log2-bucketed duration/size distribution");
+    let mut cum = 0u64;
+    for (bucket, count) in h.nonzero_buckets() {
+        cum += count;
+        // Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+        let le = if bucket == 0 { 0u128 } else { 1u128 << bucket };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Render the registry part of the exposition into `out`.
+fn render_registry(out: &mut String, reg: &Registry) {
+    // Counters: per-scheme keys collapse into labelled families.
+    let mut scheme_families: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut plain: Vec<(&str, u64)> = Vec::new();
+    for (key, value) in reg.counters() {
+        match key
+            .strip_prefix("scheme.")
+            .and_then(|rest| rest.split_once('.'))
+        {
+            Some((idx, field)) => scheme_families.entry(field).or_default().push((idx, value)),
+            None => plain.push((key, value)),
+        }
+    }
+    for (key, value) in plain {
+        let name = mangle(key);
+        family(out, &name, "counter", &format!("daos-trace counter {key}"));
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (field, entries) in scheme_families {
+        let name = mangle(&format!("scheme.{field}"));
+        family(out, &name, "counter", &format!("per-scheme counter scheme.<i>.{field}"));
+        for (idx, value) in entries {
+            out.push_str(&format!("{name}{{scheme=\"{idx}\"}} {value}\n"));
+        }
+    }
+    for (key, value) in reg.gauges() {
+        let name = mangle(key);
+        family(out, &name, "gauge", &format!("daos-trace gauge {key}"));
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (key, h) in reg.hists() {
+        hist_lines(out, &mangle(key), h);
+    }
+}
+
+/// Render the full `/metrics` exposition for one snapshot.
+pub fn render(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let gauges: [(&str, &str, u64); 6] = [
+        ("daos_obs_seq", "snapshot publish sequence number", snap.seq),
+        ("daos_obs_epoch", "last completed epoch (0-based)", snap.epoch),
+        ("daos_obs_nr_epochs", "total epochs this run executes", snap.nr_epochs),
+        ("daos_obs_now_ns", "virtual clock at publish time", snap.now_ns),
+        ("daos_obs_wss_bytes", "working-set estimate of the last window", snap.wss_bytes),
+        ("daos_obs_finished", "1 once the run has completed", snap.finished as u64),
+    ];
+    for (name, help, value) in gauges {
+        family(&mut out, name, "gauge", help);
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    family(
+        &mut out,
+        "daos_obs_dropped_events",
+        "counter",
+        "events the trace ring overwrote",
+    );
+    out.push_str(&format!("daos_obs_dropped_events {}\n", snap.dropped_events));
+    render_registry(&mut out, &snap.registry);
+    out
+}
+
+/// One parsed sample line: metric name, sorted label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs as written.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// `name{k="v",...}` rendering for map keys in tests.
+    pub fn key(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Strictly parse a text exposition: every line must be `# HELP name ...`,
+/// `# TYPE name counter|gauge|histogram`, or `name[{labels}] value`.
+/// Returns the samples, or a message naming the first offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        if line.is_empty() {
+            return Err(err("blank line"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            let kind = words.next().unwrap_or_default();
+            let name = words.next().unwrap_or_default();
+            if !matches!(kind, "HELP" | "TYPE") {
+                return Err(err("comment is neither HELP nor TYPE"));
+            }
+            if name.is_empty() || !valid_name(name) {
+                return Err(err("bad metric name in comment"));
+            }
+            if kind == "TYPE"
+                && !matches!(words.next(), Some("counter" | "gauge" | "histogram"))
+            {
+                return Err(err("unknown TYPE"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(err("comment without HELP/TYPE"));
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample line has no value"))?;
+        let value: f64 = value.parse().map_err(|_| err("unparseable value"))?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').ok_or_else(|| err("unclosed label set"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| err("label without ="))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("unquoted label value"))?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if !valid_name(&name) {
+            return Err(err("bad metric name"));
+        }
+        samples.push(Sample { name, labels, value });
+    }
+    Ok(samples)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map(text: &str) -> BTreeMap<String, f64> {
+        parse_exposition(text)
+            .unwrap()
+            .into_iter()
+            .map(|s| (s.key(), s.value))
+            .collect()
+    }
+
+    #[test]
+    fn registry_renders_and_reparses() {
+        let mut reg = Registry::new();
+        reg.counter_add("monitor.work_ns", 480);
+        reg.counter_add("scheme.0.nr_applied", 3);
+        reg.counter_add("scheme.1.nr_applied", 5);
+        reg.gauge_set("tuner.best_x", 2.5);
+        reg.hist_record("span.sample_ns", 0);
+        reg.hist_record("span.sample_ns", 100);
+        reg.hist_record("span.sample_ns", 100);
+        let snap = ObsSnapshot { seq: 1, registry: reg, ..Default::default() };
+        let text = render(&snap);
+        let m = sample_map(&text);
+        assert_eq!(m["daos_monitor_work_ns"], 480.0);
+        assert_eq!(m["daos_scheme_nr_applied{scheme=\"0\"}"], 3.0);
+        assert_eq!(m["daos_scheme_nr_applied{scheme=\"1\"}"], 5.0);
+        assert_eq!(m["daos_tuner_best_x"], 2.5);
+        assert_eq!(m["daos_span_sample_ns_count"], 3.0);
+        assert_eq!(m["daos_span_sample_ns_sum"], 200.0);
+        assert_eq!(m["daos_span_sample_ns_bucket{le=\"0\"}"], 1.0);
+        // 100 lands in [64,128) → le="128"; cumulative includes the zero.
+        assert_eq!(m["daos_span_sample_ns_bucket{le=\"128\"}"], 3.0);
+        assert_eq!(m["daos_span_sample_ns_bucket{le=\"+Inf\"}"], 3.0);
+        assert_eq!(m["daos_obs_seq"], 1.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 3, 90, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        hist_lines(&mut out, "daos_h", &h);
+        let samples = parse_exposition(&out).unwrap();
+        let mut last = -1.0f64;
+        let mut last_cum = 0.0;
+        for s in samples.iter().filter(|s| s.name == "daos_h_bucket") {
+            let le = match s.labels[0].1.as_str() {
+                "+Inf" => f64::INFINITY,
+                v => v.parse().unwrap(),
+            };
+            assert!(le > last, "le bounds ascend: {out}");
+            assert!(s.value >= last_cum, "bucket counts are cumulative");
+            last = le;
+            last_cum = s.value;
+        }
+        assert_eq!(last, f64::INFINITY);
+        assert_eq!(last_cum, 6.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("daos_x 1\n\ndaos_y 2").is_err(), "blank line");
+        assert!(parse_exposition("# a comment").is_err(), "non-HELP/TYPE comment");
+        assert!(parse_exposition("# TYPE daos_x sparkline").is_err(), "unknown type");
+        assert!(parse_exposition("daos_x{le=\"1\" 3").is_err(), "unclosed labels");
+        assert!(parse_exposition("daos_x one").is_err(), "bad value");
+        assert!(parse_exposition("3daos_x 1").is_err(), "name starts with digit");
+        assert!(parse_exposition("daos_x 1").is_ok());
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_valid_text() {
+        let text = render(&ObsSnapshot::default());
+        let samples = parse_exposition(&text).unwrap();
+        assert!(samples.iter().any(|s| s.name == "daos_obs_seq" && s.value == 0.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! The shared-state publisher: the simulation thread periodically swaps
+//! a fresh [`ObsSnapshot`] behind an `Arc` and appends the trace ring's
+//! newest events to a bounded tail; server threads and the in-process
+//! dashboard read both without ever blocking the sim loop for more than
+//! a pointer swap.
+
+use crate::snapshot::ObsSnapshot;
+use daos::{RunObserver, RunProgress, RunResult};
+use daos_trace::{Registry, Ring, TimedEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default bound on the live event tail (events). 8Ki timed events is a
+/// few hundred KiB — enough for a dashboard's "recent activity" view
+/// without letting a slow subscriber pin the whole run in memory.
+pub const DEFAULT_TAIL_CAPACITY: usize = 8 * 1024;
+
+/// Bounded live tail of the trace ring, with global sequence numbers so
+/// each `/events` subscriber keeps its own cursor.
+struct Tail {
+    events: VecDeque<TimedEvent>,
+    /// Global sequence number of `events.front()`.
+    first_seq: u64,
+    /// Ring events accounted for so far (`Ring::total_pushed` at the
+    /// last sync).
+    seen: u64,
+    /// Events lost to subscribers: ring overwrites between syncs plus
+    /// tail evictions.
+    missed: u64,
+    cap: usize,
+}
+
+struct Shared {
+    snap: RwLock<Arc<ObsSnapshot>>,
+    tail: Mutex<Tail>,
+    finished: AtomicBool,
+}
+
+/// Handle to the shared observability state. Clones are cheap and all
+/// refer to the same state; the sim side calls [`publish`](Self::publish)
+/// / [`sync_ring`](Self::sync_ring), readers call
+/// [`snapshot`](Self::snapshot) / [`events_since`](Self::events_since).
+#[derive(Clone)]
+pub struct Publisher {
+    shared: Arc<Shared>,
+}
+
+impl Default for Publisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Publisher {
+    /// A publisher with an empty snapshot and the default tail bound.
+    pub fn new() -> Publisher {
+        Self::with_tail_capacity(DEFAULT_TAIL_CAPACITY)
+    }
+
+    /// A publisher whose event tail holds at most `cap` events.
+    pub fn with_tail_capacity(cap: usize) -> Publisher {
+        Publisher {
+            shared: Arc::new(Shared {
+                snap: RwLock::new(Arc::new(ObsSnapshot::default())),
+                tail: Mutex::new(Tail {
+                    events: VecDeque::new(),
+                    first_seq: 0,
+                    seen: 0,
+                    missed: 0,
+                    cap: cap.max(1),
+                }),
+                finished: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Swap in a new snapshot (the Arc-swap: readers holding the old
+    /// `Arc` keep a consistent view, new readers see the new one).
+    pub fn publish(&self, snap: ObsSnapshot) {
+        *self.shared.snap.write().expect("snapshot lock") = Arc::new(snap);
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone under a read lock).
+    pub fn snapshot(&self) -> Arc<ObsSnapshot> {
+        self.shared.snap.read().expect("snapshot lock").clone()
+    }
+
+    /// Pull the ring's events-since-last-sync into the shared tail. Only
+    /// the new suffix is copied, so the cost is proportional to emission
+    /// rate, not ring size.
+    pub fn sync_ring(&self, ring: &Ring) {
+        let mut tail = self.shared.tail.lock().expect("tail lock");
+        let total = ring.total_pushed();
+        let new = total.saturating_sub(tail.seen);
+        if new == 0 {
+            return;
+        }
+        // Events the ring already overwrote before we got here are gone.
+        let take = (new as usize).min(ring.len());
+        tail.missed += new - take as u64;
+        for ev in ring.tail(take) {
+            if tail.events.len() == tail.cap {
+                tail.events.pop_front();
+                tail.first_seq += 1;
+                tail.missed += 1;
+            }
+            tail.events.push_back(ev);
+        }
+        tail.seen = total;
+    }
+
+    /// Events with global sequence numbers `>= cursor`, plus the cursor
+    /// to pass next time. A subscriber starting at 0 gets the whole
+    /// surviving tail.
+    pub fn events_since(&self, cursor: u64) -> (Vec<TimedEvent>, u64) {
+        let tail = self.shared.tail.lock().expect("tail lock");
+        let next = tail.first_seq + tail.events.len() as u64;
+        let start = cursor.max(tail.first_seq);
+        let skip = (start - tail.first_seq) as usize;
+        (tail.events.iter().skip(skip).copied().collect(), next)
+    }
+
+    /// Events that never reached the tail (ring overwrites between syncs
+    /// plus tail evictions).
+    pub fn missed_events(&self) -> u64 {
+        self.shared.tail.lock().expect("tail lock").missed
+    }
+
+    /// Mark the run complete: `/events` streams terminate once drained
+    /// and dashboards render a final DONE frame.
+    pub fn finish(&self) {
+        self.shared.finished.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`finish`](Self::finish) was called.
+    pub fn is_finished(&self) -> bool {
+        self.shared.finished.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`RunObserver`] that publishes an [`ObsSnapshot`] every
+/// `publish_every` epochs (and on the final epoch), reading the metrics
+/// registry and ring accounting from the thread-local trace collector.
+pub struct EpochPublisher {
+    publisher: Publisher,
+    config: String,
+    workload: String,
+    machine: String,
+    publish_every: u64,
+    seq: u64,
+}
+
+impl EpochPublisher {
+    /// Observer publishing through `publisher` under the given run
+    /// identity, once per `publish_every` epochs (min 1).
+    pub fn new(
+        publisher: Publisher,
+        config: &str,
+        workload: &str,
+        machine: &str,
+        publish_every: u64,
+    ) -> EpochPublisher {
+        EpochPublisher {
+            publisher,
+            config: config.to_string(),
+            workload: workload.to_string(),
+            machine: machine.to_string(),
+            publish_every: publish_every.max(1),
+            seq: 0,
+        }
+    }
+
+    fn build(&mut self, p: &RunProgress<'_>, finished: bool) -> ObsSnapshot {
+        self.seq += 1;
+        let registry = daos_trace::registry_snapshot().unwrap_or_default();
+        let dropped = daos_trace::ring_status().map_or(0, |(_, dropped, _)| dropped);
+        ObsSnapshot {
+            seq: self.seq,
+            config: self.config.clone(),
+            workload: self.workload.clone(),
+            machine: self.machine.clone(),
+            epoch: p.epoch,
+            nr_epochs: p.nr_epochs,
+            now_ns: p.now_ns,
+            wss_bytes: p.last_window.map_or(0, |w| w.hot_bytes_estimate()),
+            peak_rss_bytes: p.stats.peak_rss_bytes,
+            avg_rss_bytes: p.stats.avg_rss_bytes(p.now_ns),
+            last_window: p.last_window.cloned(),
+            schemes: p.scheme_stats.to_vec(),
+            overhead: p.overhead,
+            registry,
+            dropped_events: dropped,
+            finished,
+        }
+    }
+
+    /// Publish the end-of-run snapshot from the final [`RunResult`] and
+    /// mark the publisher finished. Call after `run_observed` returns,
+    /// with the run's collector still installed (so the registry snapshot
+    /// covers the whole run).
+    pub fn finalize(&mut self, result: &RunResult) {
+        self.seq += 1;
+        let registry = daos_trace::registry_snapshot().unwrap_or_default();
+        let dropped = daos_trace::ring_status().map_or(0, |(_, dropped, _)| dropped);
+        let mut snap = (*self.publisher.snapshot()).clone();
+        snap.seq = self.seq;
+        snap.config = result.config.clone();
+        snap.workload = result.workload.clone();
+        snap.machine = result.machine.clone();
+        snap.now_ns = result.runtime_ns;
+        snap.peak_rss_bytes = result.peak_rss;
+        snap.avg_rss_bytes = result.avg_rss;
+        snap.schemes = result.scheme_stats.clone();
+        snap.overhead = result.overhead;
+        snap.registry = registry;
+        snap.dropped_events = dropped;
+        snap.finished = true;
+        self.publisher.publish(snap);
+        self.publisher.finish();
+    }
+}
+
+impl RunObserver for EpochPublisher {
+    fn on_epoch(&mut self, p: &RunProgress<'_>) {
+        let due = p.epoch % self.publish_every == 0 || p.epoch + 1 == p.nr_epochs;
+        if !due {
+            return;
+        }
+        let snap = self.build(p, false);
+        daos_trace::with_collector(|c| self.publisher.sync_ring(c.ring()));
+        self.publisher.publish(snap);
+    }
+}
+
+/// Convenience for tests and tooling: a registry snapshot of the
+/// currently installed collector, or an empty registry.
+pub fn current_registry() -> Registry {
+    daos_trace::registry_snapshot().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_trace::{Collector, Event};
+
+    fn ev(at: u64) -> TimedEvent {
+        TimedEvent { at, event: Event::RegionSplit { before: at, after: at + 1 } }
+    }
+
+    #[test]
+    fn publish_swaps_and_old_readers_keep_their_view() {
+        let p = Publisher::new();
+        let before = p.snapshot();
+        assert_eq!(before.seq, 0);
+        p.publish(ObsSnapshot { seq: 1, wss_bytes: 42, ..Default::default() });
+        let after = p.snapshot();
+        assert_eq!((after.seq, after.wss_bytes), (1, 42));
+        // The Arc held from before the swap still shows the old state.
+        assert_eq!(before.seq, 0);
+    }
+
+    #[test]
+    fn ring_sync_copies_only_the_new_suffix_and_counts_misses() {
+        let p = Publisher::with_tail_capacity(4);
+        let mut c = Collector::builder().ring_capacity(8).build().unwrap();
+        for at in 0..3 {
+            c.record(at, ev(at).event);
+        }
+        p.sync_ring(c.ring());
+        let (evs, cursor) = p.events_since(0);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(cursor, 3);
+        // No new events: sync is a no-op, cursor unchanged.
+        p.sync_ring(c.ring());
+        let (evs, cursor2) = p.events_since(cursor);
+        assert!(evs.is_empty());
+        assert_eq!(cursor2, 3);
+        // Three more events: only those arrive; tail cap 4 evicts 2.
+        for at in 3..6 {
+            c.record(at, ev(at).event);
+        }
+        p.sync_ring(c.ring());
+        let (evs, cursor3) = p.events_since(cursor);
+        assert_eq!(evs.iter().map(|e| e.at).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(cursor3, 6);
+        assert_eq!(p.missed_events(), 2, "tail evictions are accounted");
+        // A stale cursor below the tail window clamps to what survives.
+        let (evs, _) = p.events_since(0);
+        assert_eq!(evs.len(), 4);
+    }
+
+    #[test]
+    fn ring_overwrites_between_syncs_are_missed_not_duplicated() {
+        let p = Publisher::new();
+        let mut c = Collector::builder().ring_capacity(2).build().unwrap();
+        for at in 0..5 {
+            c.record(at, ev(at).event);
+        }
+        p.sync_ring(c.ring());
+        let (evs, _) = p.events_since(0);
+        assert_eq!(evs.iter().map(|e| e.at).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(p.missed_events(), 3, "events the ring overwrote are counted, once");
+    }
+
+    #[test]
+    fn finish_flag_flips_once() {
+        let p = Publisher::new();
+        assert!(!p.is_finished());
+        p.finish();
+        assert!(p.is_finished());
+        let clone = p.clone();
+        assert!(clone.is_finished(), "clones share state");
+    }
+}

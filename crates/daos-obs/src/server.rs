@@ -1,0 +1,237 @@
+//! The observability endpoint: a tiny thread-per-connection HTTP/1.1
+//! server over a [`Publisher`]. Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition of the latest snapshot
+//! - `GET /snapshot` — the full [`ObsSnapshot`] as compact JSON
+//! - `GET /events` — chunked live JSONL tail of the trace ring; streams
+//!   until the run finishes, then drains and terminates
+//! - `GET /healthz` — liveness probe (`ok`)
+
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, write_response, Request,
+};
+use crate::prom;
+use crate::publisher::Publisher;
+use daos_util::json::ToJson;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often `/events` polls the publisher for fresh events.
+const EVENTS_POLL: Duration = Duration::from_millis(50);
+
+/// A running observability server. Binding spawns the accept loop on a
+/// background thread; dropping (or [`shutdown`](Self::shutdown)) stops
+/// it. Connection handlers are detached and bounded by the routes they
+/// serve — every route except a live `/events` stream responds once and
+/// closes.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving `publisher`. The actually bound address is
+    /// [`addr`](Self::addr).
+    pub fn bind(addr: &str, publisher: Publisher) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let accept_thread = thread::Builder::new()
+            .name("daos-obs-accept".into())
+            .spawn(move || accept_loop(listener, publisher, flag))?;
+        Ok(ObsServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. Live
+    /// `/events` streams notice the flag within one poll interval.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, publisher: Publisher, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let publisher = publisher.clone();
+        let stop = stop.clone();
+        let _ = thread::Builder::new().name("daos-obs-conn".into()).spawn(move || {
+            // Handler errors mean the client went away; nothing to do.
+            let _ = handle_connection(stream, &publisher, &stop);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    publisher: &Publisher,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let Some(req) = read_request(&mut reader)? else { return Ok(()) };
+    let mut stream = stream;
+    route(&mut stream, &req, publisher, stop)
+}
+
+fn route(
+    stream: &mut TcpStream,
+    req: &Request,
+    publisher: &Publisher,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    if req.method != "GET" {
+        return write_response(stream, 405, "text/plain", "only GET is supported\n");
+    }
+    let path = req.path.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" => write_response(stream, 200, "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = prom::render(&publisher.snapshot());
+            write_response(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/snapshot" => {
+            let body = publisher.snapshot().to_json().to_string_compact();
+            write_response(stream, 200, "application/json", &body)
+        }
+        "/events" => stream_events(stream, publisher, stop),
+        _ => write_response(stream, 404, "text/plain", "unknown path\n"),
+    }
+}
+
+/// Stream the live event tail as chunked JSONL: one event object per
+/// line, new lines as the publisher syncs them, terminating once the run
+/// is finished (after a final drain) or the server shuts down.
+fn stream_events(
+    stream: &mut TcpStream,
+    publisher: &Publisher,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    start_chunked(stream, "application/jsonl")?;
+    let mut cursor = 0u64;
+    loop {
+        let finished = publisher.is_finished();
+        let (events, next) = publisher.events_since(cursor);
+        if !events.is_empty() {
+            let mut batch = String::new();
+            for ev in &events {
+                batch.push_str(&ev.to_json().to_string_compact());
+                batch.push('\n');
+            }
+            write_chunk(stream, &batch)?;
+            cursor = next;
+        }
+        // Checking `finished` before the drain guarantees the final
+        // events published before the flag flipped were sent.
+        if finished || stop.load(Ordering::SeqCst) {
+            return finish_chunked(stream);
+        }
+        thread::sleep(EVENTS_POLL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_get;
+    use crate::snapshot::ObsSnapshot;
+    use daos_trace::{Collector, Event};
+    use daos_util::json::FromJson;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(10);
+
+    fn server_with_state() -> (ObsServer, Publisher) {
+        let publisher = Publisher::new();
+        publisher.publish(ObsSnapshot {
+            seq: 3,
+            config: "rec".into(),
+            epoch: 9,
+            nr_epochs: 10,
+            wss_bytes: 1 << 20,
+            ..Default::default()
+        });
+        let server = ObsServer::bind("127.0.0.1:0", publisher.clone()).unwrap();
+        (server, publisher)
+    }
+
+    #[test]
+    fn healthz_metrics_and_snapshot_respond() {
+        let (server, _publisher) = server_with_state();
+        let addr = server.addr();
+
+        let health = http_get(addr, "/healthz", T).unwrap();
+        assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+        let metrics = http_get(addr, "/metrics", T).unwrap();
+        assert_eq!(metrics.status, 200);
+        let samples = prom::parse_exposition(&metrics.body).unwrap();
+        assert!(samples.iter().any(|s| s.name == "daos_obs_seq" && s.value == 3.0));
+
+        let snap = http_get(addr, "/snapshot", T).unwrap();
+        assert_eq!(snap.status, 200);
+        let parsed =
+            ObsSnapshot::from_json(&daos_util::json::parse(&snap.body).unwrap()).unwrap();
+        assert_eq!((parsed.seq, parsed.epoch, parsed.wss_bytes), (3, 9, 1 << 20));
+
+        assert_eq!(http_get(addr, "/nope", T).unwrap().status, 404);
+    }
+
+    #[test]
+    fn events_stream_drains_tail_then_terminates_on_finish() {
+        let (server, publisher) = server_with_state();
+        let mut c = Collector::builder().ring_capacity(16).build().unwrap();
+        for at in 0..4u64 {
+            c.record(at * 100, Event::RegionSplit { before: at, after: at + 1 });
+        }
+        publisher.sync_ring(c.ring());
+        publisher.finish();
+
+        let resp = http_get(server.addr(), "/events", T).unwrap();
+        assert_eq!(resp.status, 200);
+        let lines: Vec<&str> = resp.body.lines().collect();
+        assert_eq!(lines.len(), 4, "all synced events stream out: {:?}", resp.body);
+        for line in lines {
+            let ev = daos_trace::TimedEvent::from_json(
+                &daos_util::json::parse(line).unwrap(),
+            )
+            .unwrap();
+            assert!(matches!(ev.event, Event::RegionSplit { .. }));
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_the_accept_loop() {
+        let (mut server, _publisher) = server_with_state();
+        let addr = server.addr();
+        server.shutdown();
+        // Idempotent, and the port no longer serves.
+        server.shutdown();
+        assert!(http_get(addr, "/healthz", Duration::from_millis(500)).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end pin of the observability plane: a real workload run with
+//! the collector installed, published through an [`ObsServer`] on an
+//! ephemeral port, scraped back over HTTP — and the scraped counters
+//! must **equal** the end-of-run `OverheadStats`, not merely resemble
+//! them.
+
+use std::time::Duration;
+
+use daos::{run_observed, RunConfig};
+use daos_mm::MachineProfile;
+use daos_obs::http::http_get;
+use daos_obs::prom::{parse_exposition, Sample};
+use daos_obs::{EpochPublisher, ObsServer, ObsSnapshot, Publisher};
+use daos_util::json::{FromJson, ToJson};
+use daos_workloads::by_path;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn sample<'a>(samples: &'a [Sample], name: &str) -> &'a Sample {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+}
+
+#[test]
+fn live_endpoints_agree_with_the_finished_run() {
+    // A short but real monitored run, observed epoch by epoch.
+    let machine = MachineProfile::i3_metal();
+    let config = RunConfig::rec();
+    let mut spec = by_path("parsec3/freqmine").expect("workload exists");
+    spec.nr_epochs = 120;
+
+    daos_trace::install(daos_trace::Collector::builder().build().unwrap())
+        .expect("no collector leaked from another test in this binary");
+    let publisher = Publisher::new();
+    let mut server =
+        ObsServer::bind("127.0.0.1:0", publisher.clone()).expect("bind ephemeral port");
+    let mut obs = EpochPublisher::new(publisher, &config.name, &spec.path_name(), &machine.name, 1);
+
+    let result = run_observed(&machine, &config, &spec, 42, Some(&mut obs)).expect("run");
+    obs.finalize(&result);
+    let collector = daos_trace::take().expect("collector still installed");
+    let overhead = result.overhead.expect("rec config monitors");
+
+    // /healthz answers.
+    let health = http_get(server.addr(), "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    // /metrics is valid Prometheus text: every line is # HELP, # TYPE,
+    // or `name{labels} value` — parse_exposition rejects anything else.
+    let metrics = http_get(server.addr(), "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let samples = parse_exposition(&metrics.body).expect("exposition parses");
+    assert!(!samples.is_empty());
+
+    // The equality pin: the live counters ARE the run's own accounting.
+    assert_eq!(sample(&samples, "daos_monitor_work_ns").value, overhead.work_ns as f64);
+    assert_eq!(sample(&samples, "daos_obs_epoch").value, (spec.nr_epochs - 1) as f64);
+    assert_eq!(sample(&samples, "daos_obs_finished").value, 1.0);
+    assert_eq!(
+        sample(&samples, "daos_obs_dropped_events").value,
+        collector.ring().dropped() as f64
+    );
+
+    // /snapshot round-trips through the in-tree JSON codec.
+    let snapshot = http_get(server.addr(), "/snapshot", TIMEOUT).expect("snapshot");
+    assert_eq!(snapshot.status, 200);
+    let json = daos_util::json::parse(&snapshot.body).expect("snapshot body is JSON");
+    let snap = ObsSnapshot::from_json(&json).expect("snapshot decodes");
+    assert!(snap.finished);
+    assert_eq!(snap.workload, spec.path_name());
+    assert_eq!(snap.config, config.name);
+    assert_eq!(snap.overhead, Some(overhead));
+    assert_eq!(snap.to_json().to_string_compact(), json.to_string_compact());
+
+    // /events is a finite JSONL stream once the run has finished, and
+    // every line is a decodable event.
+    let events = http_get(server.addr(), "/events", TIMEOUT).expect("events");
+    assert_eq!(events.status, 200);
+    let lines: Vec<&str> = events.body.lines().collect();
+    assert!(!lines.is_empty(), "a monitored run publishes events");
+    for line in &lines {
+        let ev = daos_util::json::parse(line).expect("event line is JSON");
+        daos_trace::TimedEvent::from_json(&ev).expect("event line decodes");
+    }
+
+    // Unknown paths 404, without wedging the server.
+    let missing = http_get(server.addr(), "/nope", TIMEOUT).expect("404 path");
+    assert_eq!(missing.status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn serve_free_run_allocates_no_publisher() {
+    // The zero-overhead pin from the CLI side: a plain `run()` touches
+    // neither collector nor publisher, so global trace state stays off.
+    let machine = MachineProfile::i3_metal();
+    let mut spec = by_path("parsec3/freqmine").expect("workload exists");
+    spec.nr_epochs = 40;
+    assert!(!daos_trace::enabled());
+    let result = daos::run(&machine, &RunConfig::baseline(), &spec, 7).expect("run");
+    assert!(result.runtime_ns > 0);
+    assert!(!daos_trace::enabled(), "plain runs must not install a collector");
+}

@@ -89,7 +89,7 @@ impl Profile {
     /// Render the per-phase table and the cross-check verdict.
     pub fn render(&self) -> String {
         if self.phases.is_empty() {
-            return "no span events in this trace (collection disabled or pre-span recording)\n"
+            return "no spans recorded in this trace (collection disabled or pre-span recording)\n"
                 .to_string();
         }
         let mut out = String::from("phase          count      p50(ns)      p95(ns)      p99(ns)    total(ns)\n");
@@ -158,6 +158,6 @@ mod tests {
         let doc = TraceDoc { events: Vec::new(), dropped: 0, ring_capacity: 16, metrics: None };
         let p = Profile::of(&doc);
         assert!(p.phases.is_empty());
-        assert!(p.render().contains("no span events"));
+        assert!(p.render().contains("no spans recorded"));
     }
 }

@@ -34,6 +34,11 @@ impl WssTimeline {
 
     /// Render the series and the p25/p50/p75/p95 percentile table.
     pub fn render(&self) -> String {
+        if self.wss.is_empty() {
+            return "no aggregation windows recorded in this trace (monitoring disabled, \
+                    or the run ended before a window closed)\n"
+                .to_string();
+        }
         let mut out = String::new();
         out.push_str(&format!("working-set size over {} windows\n", self.wss.len()));
         out.push_str("      t(s)   wss(KiB)\n");
@@ -86,10 +91,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_record_renders_without_panicking() {
+    fn empty_record_states_no_windows() {
         let tl = WssTimeline::from_record(&MonitorRecord::new());
         let out = tl.render();
-        assert!(out.contains("0 windows"));
+        assert!(out.contains("no aggregation windows recorded"), "{out}");
+        assert!(!out.contains("percentile"), "{out}");
         assert_eq!(tl.distribution().percentile(50.0), 0);
     }
 }

@@ -58,6 +58,21 @@ impl Ring {
     pub fn to_vec(&self) -> Vec<TimedEvent> {
         self.buf.iter().copied().collect()
     }
+
+    /// Total events ever pushed (surviving + overwritten). Monotonic, so
+    /// a live consumer can use it as a cursor: the surviving events are
+    /// exactly sequence numbers `total_pushed() - len() .. total_pushed()`.
+    pub fn total_pushed(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+
+    /// Copy out the newest `n` surviving events, oldest first — the tail
+    /// API live consumers (the observability publisher) poll so they only
+    /// pay for events emitted since their last visit.
+    pub fn tail(&self, n: usize) -> Vec<TimedEvent> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +94,19 @@ mod tests {
         assert_eq!(r.dropped(), 2);
         let ats: Vec<u64> = r.iter().map(|e| e.at).collect();
         assert_eq!(ats, vec![2, 3, 4], "oldest events are the ones evicted");
+    }
+
+    #[test]
+    fn tail_and_total_pushed_give_a_stable_cursor() {
+        let mut r = Ring::new(4);
+        for at in 0..6 {
+            r.push(ev(at));
+        }
+        assert_eq!(r.total_pushed(), 6);
+        let ats: Vec<u64> = r.tail(2).iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![4, 5], "tail returns the newest events, oldest first");
+        assert_eq!(r.tail(100).len(), 4, "tail clamps to the surviving window");
+        assert_eq!(r.tail(0).len(), 0);
     }
 
     #[test]

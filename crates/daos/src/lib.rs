@@ -43,4 +43,4 @@ pub use recordio::{
     record_from_csv, record_from_jsonl, record_to_csv, record_to_jsonl, RecordError, WssReport,
     RECORD_HEADER,
 };
-pub use runner::{run, RunResult};
+pub use runner::{run, run_observed, RunObserver, RunProgress, RunResult};

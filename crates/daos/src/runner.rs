@@ -53,6 +53,39 @@ impl RunResult {
     }
 }
 
+/// Live progress handed to a [`RunObserver`] once per epoch, borrowed
+/// straight from the runner's state — building it allocates nothing, so
+/// observation is cheap and a `None` observer costs one branch.
+#[derive(Debug)]
+pub struct RunProgress<'a> {
+    /// Epoch just completed (0-based).
+    pub epoch: u64,
+    /// Total epochs this run will execute.
+    pub nr_epochs: u64,
+    /// Virtual clock after the epoch.
+    pub now_ns: Ns,
+    /// The workload's process statistics so far.
+    pub stats: &'a ProcStats,
+    /// Kernel-side statistics so far.
+    pub kstats: &'a KernelStats,
+    /// The most recent completed aggregation window, if any.
+    pub last_window: Option<&'a Aggregation>,
+    /// Per-scheme counters so far (empty without a schemes engine).
+    pub scheme_stats: &'a [SchemeStats],
+    /// Monitoring overhead counters so far (None without a monitor).
+    pub overhead: Option<OverheadStats>,
+}
+
+/// Hook into a live run: [`run_observed`] calls `on_epoch` after every
+/// workload epoch (monitor and schemes already caught up). Observers run
+/// on the simulation thread — keep them cheap, and throttle internally
+/// if they do real work (the observability publisher snapshots every
+/// N-th call).
+pub trait RunObserver {
+    /// One epoch of the simulation finished.
+    fn on_epoch(&mut self, progress: &RunProgress<'_>);
+}
+
 /// Monomorphised monitor wrapper so one runner handles both primitives.
 enum AnyMonitor {
     Vaddr(MonitorCtx<VaddrPrimitives>),
@@ -90,6 +123,21 @@ pub fn run(
     spec: &WorkloadSpec,
     seed: u64,
 ) -> MmResult<RunResult> {
+    run_observed(machine, config, spec, seed, None)
+}
+
+/// [`run`], with an optional per-epoch [`RunObserver`]. With
+/// `observer == None` this is exactly `run`: no progress struct is
+/// built and no aggregation is cloned, so the unobserved sim loop stays
+/// allocation-identical to before the hook existed (the zero-overhead
+/// pin the obs-plane tests rely on).
+pub fn run_observed(
+    machine: &MachineProfile,
+    config: &RunConfig,
+    spec: &WorkloadSpec,
+    seed: u64,
+    mut observer: Option<&mut dyn RunObserver>,
+) -> MmResult<RunResult> {
     let mut sys = MemorySystem::new(machine.clone(), config.swap, seed);
     let mut wl = instantiate(*spec, seed);
     let pid = wl.setup(&mut sys, config.thp)?;
@@ -123,8 +171,11 @@ pub fn run(
     let mut batches = Vec::new();
     let mut next_khugepaged = KHUGEPAGED_INTERVAL;
     let cpu_scale = 3.0 / machine.cpu_ghz;
+    let observing = observer.is_some();
+    let mut last_window: Option<Aggregation> = None;
+    let nr_epochs = wl.nr_epochs();
 
-    for idx in 0..wl.nr_epochs() {
+    for idx in 0..nr_epochs {
         // 1. The workload runs one quantum.
         batches.clear();
         let compute_ref = wl.epoch(idx, sys.now(), &mut batches);
@@ -161,8 +212,15 @@ pub fn run(
                         sys.advance(interference);
                     }
                 }
-                if let Some(rec) = &mut record {
-                    rec.push(agg);
+                match &mut record {
+                    Some(rec) => {
+                        if observing {
+                            last_window = Some(agg.clone());
+                        }
+                        rec.push(agg);
+                    }
+                    None if observing => last_window = Some(agg),
+                    None => {}
                 }
             }
         }
@@ -176,6 +234,21 @@ pub fn run(
             }
             sys.advance(interference);
             next_khugepaged = sys.now() + KHUGEPAGED_INTERVAL;
+        }
+
+        // 5. Observation hook (a single branch when nobody listens).
+        if let Some(obs) = observer.as_deref_mut() {
+            let stats = sys.proc_stats(pid).expect("workload process exists");
+            obs.on_epoch(&RunProgress {
+                epoch: idx,
+                nr_epochs,
+                now_ns: sys.now(),
+                stats,
+                kstats: &sys.kstats,
+                last_window: last_window.as_ref(),
+                scheme_stats: engine.as_ref().map_or(&[][..], |e| e.stats()),
+                overhead: monitor.as_ref().map(|m| m.overhead()),
+            });
         }
     }
 
@@ -332,6 +405,42 @@ mod tests {
         );
         assert!(reclaim.scheme_stats[0].nr_quota_skips > 0);
         assert!(reclaim.kstats.damos_pageouts > 0, "but it does reclaim");
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_and_perturbs_nothing() {
+        #[derive(Default)]
+        struct Counting {
+            calls: u64,
+            last_epoch: u64,
+            windows_seen: u64,
+            max_wss: u64,
+        }
+        impl RunObserver for Counting {
+            fn on_epoch(&mut self, p: &RunProgress<'_>) {
+                self.calls += 1;
+                self.last_epoch = p.epoch;
+                assert!(p.now_ns > 0);
+                assert!(p.overhead.is_some(), "rec config monitors");
+                if let Some(w) = p.last_window {
+                    self.windows_seen += 1;
+                    self.max_wss = self.max_wss.max(w.hot_bytes_estimate());
+                }
+            }
+        }
+        let spec = tiny_spec();
+        let mut obs = Counting::default();
+        let observed =
+            run_observed(&machine(), &RunConfig::rec(), &spec, 1, Some(&mut obs)).unwrap();
+        assert_eq!(obs.calls, spec.nr_epochs);
+        assert_eq!(obs.last_epoch, spec.nr_epochs - 1);
+        assert!(obs.windows_seen > obs.calls / 2, "windows stick around once seen");
+        assert!(obs.max_wss > 0, "the idle workload still has a hot working set");
+        // Observation must not change the simulation.
+        let plain = run(&machine(), &RunConfig::rec(), &spec, 1).unwrap();
+        assert_eq!(plain.runtime_ns, observed.runtime_ns);
+        assert_eq!(plain.avg_rss, observed.avg_rss);
+        assert_eq!(plain.stats, observed.stats);
     }
 
     #[test]

@@ -56,7 +56,7 @@ echo "ok"
 echo "== offline release build (must be warning-free) =="
 # `cargo build` replays cached warnings for already-built crates, so
 # grepping the build output catches warnings even on incremental runs.
-build_log=$(cargo build --release --offline 2>&1) || {
+build_log=$(cargo build --release --offline --workspace 2>&1) || {
     echo "$build_log"
     exit 1
 }
@@ -84,6 +84,44 @@ diff -u tests/golden/trace_wss.txt "$tmp/wss.txt" || {
 diff -u tests/golden/trace_summary.txt "$tmp/summary.txt" || {
     echo "FAIL: report summary drifted from tests/golden/trace_summary.txt"
     exit 1
+}
+echo "ok"
+
+echo "== live observability endpoints answer during a real run =="
+# Spawn a served run on an ephemeral port, scrape /healthz and /metrics
+# with the std-only obs-get client (which also validates the exposition
+# format), then kill the lingering server.
+target/release/daos run parsec3/freqmine --config rec --epochs 200 --seed 42 \
+    --serve 127.0.0.1:0 --linger > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^serving observability on \([0-9.:]*\)$/\1/p' "$tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: served run never announced its address"; kill "$serve_pid" 2>/dev/null; exit 1; }
+health=$(target/release/obs-get "$addr" /healthz) || {
+    echo "FAIL: /healthz unreachable on $addr"; kill "$serve_pid" 2>/dev/null; exit 1
+}
+[ "$health" = "ok" ] || { echo "FAIL: /healthz said '$health'"; kill "$serve_pid" 2>/dev/null; exit 1; }
+target/release/obs-get "$addr" /metrics > "$tmp/metrics.txt" || {
+    echo "FAIL: /metrics unreachable or invalid exposition"; kill "$serve_pid" 2>/dev/null; exit 1
+}
+[ -s "$tmp/metrics.txt" ] || { echo "FAIL: /metrics body empty"; kill "$serve_pid" 2>/dev/null; exit 1; }
+kill "$serve_pid" 2>/dev/null
+wait "$serve_pid" 2>/dev/null || true
+echo "ok"
+
+echo "== bench pipeline emits well-formed BENCH_pipeline.json =="
+DAOS_BENCH_OUT="$tmp/bench.json" target/release/pipeline --quick > /dev/null
+[ -s "$tmp/bench.json" ] || { echo "FAIL: BENCH_pipeline.json empty"; exit 1; }
+target/release/pipeline --check "$tmp/bench.json" || {
+    echo "FAIL: BENCH_pipeline.json is not well-formed JSON"; exit 1
+}
+# The committed baseline at the repo root must stay well-formed too.
+target/release/pipeline --check BENCH_pipeline.json || {
+    echo "FAIL: committed BENCH_pipeline.json is not well-formed JSON"; exit 1
 }
 echo "ok"
 

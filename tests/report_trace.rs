@@ -81,7 +81,7 @@ fn disabled_collection_emits_zero_span_events() {
     let doc = parse_export("").unwrap();
     let profile = Profile::of(&doc);
     assert!(profile.phases.is_empty());
-    assert!(profile.render().contains("no span events"));
+    assert!(profile.render().contains("no spans recorded"));
 }
 
 #[test]

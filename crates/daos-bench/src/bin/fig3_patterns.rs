@@ -44,7 +44,7 @@ fn main() {
     let mut seen = std::collections::BTreeSet::new();
     let mut measured = Table::new(vec!["workload", "pattern"]);
     for spec in scale.fig4_workloads() {
-        let pts = prcl_sweep(&machine, &spec, &ages, 1, 42);
+        let pts = prcl_sweep(&machine, &spec, &ages, 1, 42).expect("prcl sweep");
         let label = match classify(&to_aggressiveness_series(&pts)) {
             Some(p) => {
                 seen.insert(p.index());

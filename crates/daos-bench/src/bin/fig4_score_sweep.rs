@@ -36,7 +36,7 @@ fn main() {
         println!("{header}");
         let mut series_per_machine = Vec::new();
         for machine in &machines {
-            let pts = prcl_sweep(machine, spec, &ages, reps, 42);
+            let pts = prcl_sweep(machine, spec, &ages, reps, 42).expect("prcl sweep");
             for p in &pts {
                 csv.row(vec![
                     spec.path_name(),

@@ -17,7 +17,7 @@ fn main() {
 
     // Dense measured curve (1 s granularity, as in the paper).
     let ages: Vec<u64> = (0..=60).collect();
-    let measured = prcl_sweep(&machine, &spec, &ages, 1, 42);
+    let measured = prcl_sweep(&machine, &spec, &ages, 1, 42).expect("prcl sweep");
 
     // The tuning session: 10 samples (60 % global + 40 % local).
     let baseline = run(&machine, &RunConfig::baseline(), &spec, 42).expect("baseline");

@@ -33,21 +33,27 @@ where
 
     // A worker panic propagates out of the scope when its JoinHandle is
     // detached-joined at scope exit, so no explicit error plumbing is
-    // needed; a poisoned slot mutex is impossible to observe afterwards
-    // because the panic aborts the whole map.
+    // needed; a poisoned slot mutex carries no torn state (each slot is
+    // written whole, once), so poison recovery is safe everywhere.
     std::thread::scope(|scope| {
         for _ in 0..nr_threads {
             scope.spawn(|| loop {
+                // ordering: Relaxed suffices — the counter only hands
+                // out unique indices; the scope join is what publishes
+                // the outputs to the caller.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = inputs[i]
                     .lock()
-                    .expect("input slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .take()
+                    // lint: allow(panic, fetch_add hands each index to exactly one worker)
                     .expect("each index claimed once");
-                *outputs[i].lock().expect("output slot poisoned") = Some(f(item));
+                *outputs[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(f(item));
             });
         }
     });
@@ -56,7 +62,8 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("output slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint: allow(panic, a worker panic would have propagated at scope exit)
                 .expect("all indices processed")
         })
         .collect()

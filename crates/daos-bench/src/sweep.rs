@@ -1,7 +1,7 @@
 //! The prcl aggressiveness sweep shared by Figures 3, 4 and 5: vary the
 //! pageout scheme's `min_age` threshold, score each run with Listing 2.
 
-use daos::{run, score_inputs, Normalized, RunConfig};
+use daos::{run, score_inputs, DaosError, Normalized, RunConfig};
 use daos_mm::clock::sec;
 use daos_mm::MachineProfile;
 use daos_tuner::{DefaultScore, ScoreFn};
@@ -32,13 +32,16 @@ pub struct SweepPoint {
 /// "aggressiveness increases from right to left" — Listing 2's stateful
 /// SLA clamp then sees safe configurations before risky ones. Returned
 /// points are sorted by ascending `min_age`.
+///
+/// Fails with the first simulation's error if any run rejects its
+/// configuration.
 pub fn prcl_sweep(
     machine: &MachineProfile,
     spec: &WorkloadSpec,
     ages_s: &[u64],
     repeats: u64,
     seed: u64,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, DaosError> {
     // All runs (baseline + each age × repeat) are independent →
     // parallel; scoring is sequential afterwards (stateful SLA).
     let mut ages: Vec<u64> = ages_s.to_vec();
@@ -57,8 +60,9 @@ pub fn prcl_sweep(
             None => RunConfig::baseline(),
             Some(a) => RunConfig::prcl_with_min_age(sec(a)),
         };
-        run(machine, &cfg, spec, seed + rep).expect("simulation run")
+        run(machine, &cfg, spec, seed + rep)
     });
+    let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     // Index results.
     let mut baselines = Vec::new();
@@ -85,7 +89,8 @@ pub fn prcl_sweep(
         }
     }
 
-    ages.iter()
+    Ok(ages
+        .iter()
         .map(|&age| {
             let ss = &scores[&age];
             let m = mean(ss.iter().copied());
@@ -99,7 +104,7 @@ pub fn prcl_sweep(
                 memory_efficiency: mean(ns.iter().map(|n| n.memory_efficiency)),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Convert sweep points to `(aggressiveness, score)` pairs for the

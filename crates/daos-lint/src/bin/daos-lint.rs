@@ -1,0 +1,87 @@
+//! `daos-lint` — machine-check the workspace invariants.
+//!
+//! ```text
+//! USAGE: daos-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exits 0 on a clean workspace; on findings it prints them (human
+//! lines, or a JSON report with `--json`) and exits with
+//! `EX_DATAERR` (65) via `DaosError::Lint`.
+
+use daos::DaosError;
+use daos_lint::{lint_workspace, report_json};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+daos-lint — static analysis of the workspace invariants
+
+USAGE:
+    daos-lint [--root DIR] [--json]
+
+OPTIONS:
+    --root DIR   workspace root to scan (default: .)
+    --json       machine-readable report on stdout
+
+Lints: no-print, no-registry-deps, panic-discipline, determinism,
+atomic-ordering, dead-tracepoint. See DESIGN.md §11 for the catalogue
+and the `// lint: allow(<key>, <reason>)` annotation grammar.
+";
+
+fn run() -> Result<(), DaosError> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or_else(|| {
+                    DaosError::usage("--root needs a directory argument")
+                })?);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => {
+                return Err(DaosError::usage(format!(
+                    "unknown argument '{other}'\n\n{USAGE}"
+                )));
+            }
+        }
+    }
+    if !root.join("Cargo.toml").is_file() {
+        return Err(DaosError::usage(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        )));
+    }
+
+    let (ws, findings) = lint_workspace(&root)?;
+    if json {
+        println!("{}", report_json(&ws, &findings).to_string_compact());
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            println!(
+                "daos-lint: clean ({} files, {} manifests)",
+                ws.files.len(),
+                ws.manifests.len()
+            );
+        }
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(DaosError::Lint { findings: findings.len() })
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("daos-lint: {e}");
+        std::process::exit(e.exit_code());
+    }
+}

@@ -1,0 +1,412 @@
+//! A hand-rolled Rust lexer, exactly as deep as static analysis needs.
+//!
+//! The point of lexing (rather than `grep`) is that the token stream
+//! knows what is *code*: string literals, raw strings, char literals,
+//! doc comments and (nested) block comments can all contain text like
+//! `println!(` or `unwrap()` without confusing a pass. The lexer is
+//! deliberately lossless about position — every token carries its byte
+//! range and 1-based start line — and deliberately lossy about meaning:
+//! keywords are just idents, multi-char operators are runs of
+//! single-char [`TokenKind::Punct`] tokens, and numeric literals are a
+//! single opaque token. That is all the lint passes consume.
+//!
+//! Robustness policy: the lexer never fails. Malformed input (an
+//! unterminated string or comment) consumes to end-of-file; the
+//! compiler is the authority on well-formedness, the linter only needs
+//! to never mis-classify code as text on *valid* input.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'!'`.
+    Char,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A `//` comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment, nesting included.
+    BlockComment,
+    /// One ASCII punctuation character (`::` is two of these).
+    Punct,
+}
+
+/// One lexed token: kind plus source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.as_bytes(), i: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let start = self.i;
+            let line = self.line;
+            let c = self.b[self.i];
+            let kind = match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                    continue;
+                }
+                c if c.is_ascii_whitespace() => {
+                    self.i += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    TokenKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    TokenKind::BlockComment
+                }
+                b'"' => {
+                    self.i += 1;
+                    self.escaped_string();
+                    TokenKind::Str
+                }
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    TokenKind::Number
+                }
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.i += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.out.push(Token { kind, line, start, end: self.i });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn bump_counting_lines(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.i += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+    }
+
+    /// Body of a `"…"` string, opening quote already consumed.
+    fn escaped_string(&mut self) {
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\\' => {
+                    self.i += 1; // the escape intro; the escaped byte falls through
+                    if self.i < self.b.len() {
+                        self.bump_counting_lines();
+                    }
+                }
+                _ => self.bump_counting_lines(),
+            }
+        }
+    }
+
+    /// Body of a raw string with `hashes` trailing `#`s, opening quote
+    /// already consumed. No escapes: ends at `"` followed by the hashes.
+    fn raw_string(&mut self, hashes: usize) {
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let closed =
+                    (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_counting_lines();
+        }
+    }
+
+    /// At a `'`: a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.i += 2; // `'` and `\`
+            if self.i < self.b.len() {
+                self.bump_counting_lines(); // the escaped byte (n, x, u, ', …)
+            }
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.bump_counting_lines(); // hex digits, `{…}` of \u
+            }
+            self.i = (self.i + 1).min(self.b.len()); // closing `'`
+            return TokenKind::Char;
+        }
+        // `'ident` is a lifetime unless a `'` follows the ident (`'a'`).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_continue(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                self.i = j + 1;
+                return TokenKind::Char;
+            }
+            self.i = j;
+            return TokenKind::Lifetime;
+        }
+        // `'('`, `' '`, `'é'`: one (possibly multi-byte) char, then `'`.
+        self.i += 1;
+        if self.i < self.b.len() {
+            self.bump_counting_lines();
+            while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                self.i += 1; // continuation bytes of a multi-byte char
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) {
+        if self.b[self.i] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.i += 2;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+            return;
+        }
+        let digits = |l: &mut Self| {
+            while l.i < l.b.len() && (l.b[l.i].is_ascii_digit() || l.b[l.i] == b'_') {
+                l.i += 1;
+            }
+        };
+        digits(self);
+        // A fraction only if `.` is followed by a digit — `1.max(2)` and
+        // `0..n` must leave the dot(s) as punctuation.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            digits(self);
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            self.i += 2;
+            digits(self);
+        }
+        // Type suffix (`u64`, `f32`, …).
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+    }
+
+    /// An identifier — unless it is the prefix of a string/char literal
+    /// (`r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br"…"`, `c"…"`) or a raw
+    /// identifier (`r#type`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let ident = &self.b[start..self.i];
+        let raw_capable = matches!(ident, b"r" | b"br" | b"cr");
+        let quote_capable = matches!(ident, b"r" | b"b" | b"br" | b"c" | b"cr");
+        match self.peek(0) {
+            Some(b'"') if quote_capable => {
+                self.i += 1;
+                if raw_capable {
+                    // `r"…"` / `br"…"` / `cr"…"`: no escape processing.
+                    self.raw_string(0);
+                } else {
+                    // `b"…"` / `c"…"` still process escapes.
+                    self.escaped_string();
+                }
+                TokenKind::Str
+            }
+            Some(b'#') if raw_capable => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.i += hashes + 1;
+                    self.raw_string(hashes);
+                    TokenKind::Str
+                } else if ident == b"r" && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`.
+                    self.i += 1;
+                    while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    TokenKind::Ident
+                } else {
+                    TokenKind::Ident
+                }
+            }
+            Some(b'\'') if ident == b"b" => {
+                self.char_or_lifetime();
+                TokenKind::Char
+            }
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // None of the `println!` texts below may surface as idents.
+        let src = r####"
+            let a = "println!(\"x\") and \" escaped";
+            let b = r#"println!("raw") "# ;
+            let c = br##"unwrap() "# inner"## ;
+            let d = b"panic!";
+            let e = c"expect(";
+        "####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c", "let", "d", "let", "e"]);
+        let strs: Vec<_> =
+            lex(src).into_iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 5);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* x /* unwrap() */ panic! */ b";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+        assert_eq!(ks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'static str) { let c = 'x'; let q = '\\''; let n = '\\n'; let b = b'!'; }";
+        let ls: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(ls, vec!["'a", "'static"]);
+        let cs = lex(src).iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(cs, 4);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let src = "let r#type = 1;";
+        assert!(idents(src).contains(&"r#type".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").expect("b lexed");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_dots_or_ranges() {
+        let src = "1.max(2); 0..n; 1.5e-3f64; 0xFFu8";
+        let ids = idents(src);
+        assert!(ids.contains(&"max".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+        let nums = lex(src).iter().filter(|t| t.kind == TokenKind::Number).count();
+        assert_eq!(nums, 5, "1, 2, 0, 1.5e-3f64, 0xFFu8");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// println!(\"doc\")\n//! unwrap()\nfn f() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn unterminated_forms_consume_to_eof_without_panicking() {
+        for src in ["\"open", "r#\"open", "/* open", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

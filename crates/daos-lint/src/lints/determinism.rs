@@ -1,0 +1,57 @@
+//! **determinism** — the simulation crates run on virtual time only.
+//!
+//! `daos-mm`, `daos-monitor`, `daos-schemes` and `daos-tuner` are the
+//! deterministic-replay core: every clock they read must come from
+//! `daos-mm::clock` (virtual nanoseconds), never the wall clock. A
+//! single `Instant::now()` would make traces non-replayable — PR 3's
+//! "trace-rebuilt record equals in-memory record" pin only holds
+//! because these crates cannot observe real time.
+
+use super::{Code, Pass};
+use crate::lexer::TokenKind;
+use crate::source::Workspace;
+use crate::Finding;
+
+/// Crates whose clocks must be virtual.
+const DETERMINISTIC_CRATES: [&str; 4] =
+    ["daos-mm", "daos-monitor", "daos-schemes", "daos-tuner"];
+
+/// Wall-clock time sources (argless: they read ambient machine state).
+const TIME_SOURCES: [&str; 2] = ["Instant", "SystemTime"];
+
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "time"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.files.iter().filter(|f| {
+            f.crate_name
+                .as_deref()
+                .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+        }) {
+            let c = Code::new(file);
+            for i in 0..c.len() {
+                if c.kind(i) == TokenKind::Ident && TIME_SOURCES.contains(&c.text(i)) {
+                    out.push(Finding::new(
+                        self.name(),
+                        &file.rel,
+                        c.line(i),
+                        format!(
+                            "wall-clock source `{}` in deterministic crate \
+                             `{}`: clocks here come from daos-mm::clock",
+                            c.text(i),
+                            file.crate_name.as_deref().unwrap_or(""),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

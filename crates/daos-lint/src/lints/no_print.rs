@@ -1,0 +1,49 @@
+//! **no-print** — library code must not talk to stdout/stderr.
+//!
+//! Library crates report through `daos-trace` events/metrics or return
+//! values; only `daos-cli` and the `src/bin/` report binaries own the
+//! terminal. Replaces the old `grep` guard in `scripts/verify.sh`,
+//! which could not tell a `println!` call from one quoted in a string,
+//! a doc example, or a block comment.
+
+use super::{is_binary_code, Code, Pass};
+use crate::lexer::TokenKind;
+use crate::source::Workspace;
+use crate::Finding;
+
+const PRINT_MACROS: [&str; 4] = ["print", "println", "eprint", "eprintln"];
+
+pub struct NoPrint;
+
+impl Pass for NoPrint {
+    fn name(&self) -> &'static str {
+        "no-print"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "print"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.files.iter().filter(|f| !is_binary_code(f)) {
+            let c = Code::new(file);
+            for i in 0..c.len() {
+                if c.kind(i) == TokenKind::Ident
+                    && PRINT_MACROS.contains(&c.text(i))
+                    && c.is(i + 1, "!")
+                {
+                    out.push(Finding::new(
+                        self.name(),
+                        &file.rel,
+                        c.line(i),
+                        format!(
+                            "`{}!` in library code: report through daos-trace \
+                             or return values",
+                            c.text(i)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

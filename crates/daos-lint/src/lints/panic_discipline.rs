@@ -1,0 +1,61 @@
+//! **panic-discipline** — library non-test code must not panic ad hoc.
+//!
+//! `unwrap()` / `expect()` / `panic!` (and `unreachable!` / `todo!` /
+//! `unimplemented!`) are forbidden outside `#[cfg(test)]` code in
+//! library crates: fallible paths return typed errors (`DaosError` and
+//! the per-layer error enums). A site whose panic is a *checked
+//! invariant* — provably unreachable, or the designed failure mode —
+//! carries a `// lint: allow(panic, <reason>)` annotation instead.
+
+use super::{is_binary_code, Code, Pass};
+use crate::lexer::TokenKind;
+use crate::source::Workspace;
+use crate::Finding;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+pub struct PanicDiscipline;
+
+impl Pass for PanicDiscipline {
+    fn name(&self) -> &'static str {
+        "panic-discipline"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "panic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in ws.files.iter().filter(|f| !is_binary_code(f)) {
+            let c = Code::new(file);
+            for i in 0..c.len() {
+                if c.kind(i) != TokenKind::Ident || c.in_test(i) {
+                    continue;
+                }
+                let t = c.text(i);
+                let hit = if PANIC_MACROS.contains(&t) && c.is(i + 1, "!") {
+                    Some(format!("`{t}!`"))
+                } else if PANIC_METHODS.contains(&t)
+                    && ((i > 0 && c.is(i - 1, ".") && c.is(i + 1, "("))
+                        || (i > 1 && c.is(i - 1, ":") && c.is(i - 2, ":")))
+                {
+                    Some(format!("`.{t}()`"))
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    out.push(Finding::new(
+                        self.name(),
+                        &file.rel,
+                        c.line(i),
+                        format!(
+                            "{what} in library non-test code: return a typed \
+                             error, or annotate `// lint: allow(panic, <reason>)`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

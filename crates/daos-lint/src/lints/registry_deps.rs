@@ -1,0 +1,32 @@
+//! **no-registry-deps** — the hermetic zero-dependency policy.
+//!
+//! Every dependency in every manifest must be an in-tree path
+//! dependency (`path = …` or `X.workspace = true`); version, git and
+//! registry dependencies would make the build non-hermetic. Replaces
+//! the old `awk` guard in `scripts/verify.sh`, and additionally covers
+//! dotted `[dependencies.X]` sections the awk state machine missed.
+
+use super::Pass;
+use crate::source::Workspace;
+use crate::Finding;
+
+pub struct RegistryDeps;
+
+impl Pass for RegistryDeps {
+    fn name(&self) -> &'static str {
+        "no-registry-deps"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for m in &ws.manifests {
+            for (line, text, why) in &m.offenders {
+                out.push(Finding::new(
+                    self.name(),
+                    &m.rel,
+                    *line,
+                    format!("{why}: `{text}`"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end lint runs over the seeded fixture workspaces under
+//! `tests/fixtures/`. The `violations/` tree trips every lint at least
+//! once; the `clean/` tree is all bait (raw strings, nested block
+//! comments, test modules, annotated sites) and must produce nothing.
+
+use daos_lint::{lint_workspace, Finding};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> Vec<Finding> {
+    lint_workspace(&fixture(name)).expect("fixture workspace loads").1
+}
+
+fn count(findings: &[Finding], lint: &str) -> usize {
+    findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn violations_fixture_trips_every_lint() {
+    let findings = lint("violations");
+    let rendered: Vec<String> = findings.iter().map(Finding::render).collect();
+    let ctx = rendered.join("\n");
+
+    assert_eq!(count(&findings, "no-print"), 2, "{ctx}");
+    assert_eq!(count(&findings, "no-registry-deps"), 3, "{ctx}");
+    assert_eq!(count(&findings, "panic-discipline"), 3, "{ctx}");
+    assert_eq!(count(&findings, "determinism"), 2, "{ctx}");
+    assert_eq!(count(&findings, "atomic-ordering"), 2, "{ctx}");
+    assert_eq!(count(&findings, "dead-tracepoint"), 1, "{ctx}");
+    assert_eq!(count(&findings, "annotation"), 1, "{ctx}");
+    assert_eq!(findings.len(), 14, "{ctx}");
+}
+
+#[test]
+fn violations_fixture_details() {
+    let findings = lint("violations");
+
+    // The multiline eprintln! the old grep guard missed is caught.
+    assert!(findings
+        .iter()
+        .any(|f| f.lint == "no-print" && f.message.contains("eprintln")));
+
+    // The dotted `[dependencies.libc] version = …` section is caught.
+    assert!(findings.iter().any(|f| f.lint == "no-registry-deps"
+        && f.file == "crates/daos-mm/Cargo.toml"
+        && f.message.contains("registry key")));
+
+    // Only the never-emitted variant is dead; the emitted one is not.
+    assert!(findings
+        .iter()
+        .any(|f| f.lint == "dead-tracepoint" && f.message.contains("`Dead`")));
+    assert!(!findings.iter().any(|f| f.message.contains("`Alive`")));
+
+    // The reason-less `// lint: allow(panic)` is itself the finding and
+    // suppresses nothing: the `.expect()` it hovers over still fires.
+    let half_line = findings
+        .iter()
+        .find(|f| f.lint == "annotation")
+        .map(|f| f.line)
+        .expect("annotation finding present");
+    assert!(findings
+        .iter()
+        .any(|f| f.lint == "panic-discipline" && f.line > half_line));
+
+    // Test-module unwraps are masked: every panic finding sits before
+    // the fixture's `#[cfg(test)]` module.
+    assert!(findings
+        .iter()
+        .filter(|f| f.lint == "panic-discipline")
+        .all(|f| f.line < 21));
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = lint("clean");
+    let rendered: Vec<String> = findings.iter().map(Finding::render).collect();
+    assert!(findings.is_empty(), "clean fixture flagged:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn findings_are_sorted_and_render_stably() {
+    let findings = lint("violations");
+    let keys: Vec<(&str, u32, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.lint))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be ordered by (file, line, lint)");
+    for f in &findings {
+        assert_eq!(
+            f.render(),
+            format!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message)
+        );
+    }
+}

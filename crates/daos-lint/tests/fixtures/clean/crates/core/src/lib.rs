@@ -1,0 +1,66 @@
+//! Fixture: everything here is fine, and most of it is bait. Strings,
+//! comments, test modules and annotated sites must all pass the lints.
+//! Never compiled — only lexed.
+
+/* A nested /* block comment */ mentioning println!("x") and x.unwrap() */
+
+pub fn raw_bait() -> &'static str {
+    // Raw-string contents are data, not code.
+    r#"println!("hi"); x.unwrap(); panic!("no"); Instant::now()"#
+}
+
+pub fn escaped_bait() -> &'static str {
+    "say \"eprintln!\" and .expect(\"quoted\") and Ordering::SeqCst"
+}
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn shutdown(flag: &AtomicBool) {
+    // ordering: Release pairs with the Acquire load in `is_down`.
+    flag.store(true, Ordering::Release);
+}
+
+pub fn is_down(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire) // ordering: pairs with the Release store above
+}
+
+pub fn trailing_allow(x: Option<u8>) -> u8 {
+    x.unwrap() // lint: allow(panic, fixture exercises the trailing annotation form)
+}
+
+pub fn standalone_allow(x: Option<u8>) -> u8 {
+    // lint: allow(panic, fixture exercises the standalone annotation form)
+    x.expect("fixture")
+}
+
+daos_trace::events! {
+    Ping { n: u64 },
+    Pong { n: u64 },
+    SpanEnter { id: u64 },
+    SpanExit { id: u64 },
+}
+
+pub fn emit_all() {
+    trace!(1, Ping { n: 1 });
+    daos_trace::emit(7, daos_trace::Event::Pong { n: 2 });
+    span!(3, Sample, { () });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        super::trailing_allow(Some(1));
+        Some(3u8).unwrap();
+        let v: Result<u8, ()> = Ok(3);
+        v.expect("tests may expect");
+        panic!("tests may panic");
+    }
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_live() -> u8 {
+    // This item is live library code: had it unwrapped, the lint would
+    // fire. It does not.
+    0
+}

@@ -1,0 +1,22 @@
+//! Fixture: library code that prints, leaves atomics unjustified, and
+//! declares a tracepoint nobody emits. Never compiled — only lexed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn status(flag: &AtomicBool) {
+    println!("status: {}", flag.load(Ordering::SeqCst));
+    flag.store(true, Ordering::Relaxed);
+    eprintln!(
+        "the multiline form that the old \
+         grep guard could not see"
+    );
+}
+
+daos_trace::events! {
+    Alive { n: u64 },
+    Dead { n: u64 },
+}
+
+pub fn tick() {
+    trace!(1, Alive { n: 3 });
+}

@@ -1,0 +1,29 @@
+//! Fixture: a "simulation" crate that breaks determinism and panic
+//! discipline. Never compiled — only lexed by the lint tests.
+
+use std::time::Instant;
+
+pub fn work(x: Option<u8>) -> u8 {
+    let started = Instant::now();
+    let v = x.unwrap();
+    if v > 250 {
+        panic!("too big");
+    }
+    let _ = started;
+    v
+}
+
+// lint: allow(panic)
+pub fn half(x: u8) -> u8 {
+    x.checked_div(2).expect("two is not zero")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        // Test code may unwrap freely; none of this counts.
+        super::work(Some(1)).checked_add(1).unwrap();
+        Some(3u8).unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! The workspace must satisfy its own invariants — `daos-lint` run
+//! against this very repo comes back clean — and the binary must speak
+//! sysexits: 0 on clean, `EX_DATAERR` (65) on findings, 2 on usage.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `crates/daos-lint` → the repo root two levels up.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_daos-lint"))
+        .args(args)
+        .output()
+        .expect("daos-lint binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let (ws, findings) = daos_lint::lint_workspace(&repo_root()).expect("repo loads");
+    let rendered: Vec<String> =
+        findings.iter().map(daos_lint::Finding::render).collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace must be lint-clean; fix or annotate:\n{}",
+        rendered.join("\n")
+    );
+    // Sanity: the scan actually covered the repo, not an empty dir.
+    assert!(ws.files.len() > 50, "only {} files scanned", ws.files.len());
+    assert!(ws.manifests.len() >= 12, "only {} manifests", ws.manifests.len());
+}
+
+#[test]
+fn binary_is_clean_and_quietly_successful_on_this_repo() {
+    let root = repo_root();
+    let (code, stdout, _) = run(&["--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 0, "stdout:\n{stdout}");
+    assert!(stdout.contains("daos-lint: clean"));
+}
+
+#[test]
+fn binary_exits_dataerr_on_the_violations_fixture() {
+    let dirty = fixture("violations");
+    let (code, stdout, stderr) = run(&["--root", dirty.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 65, "EX_DATAERR via DaosError::Lint; stdout:\n{stdout}");
+    assert!(stdout.contains("[panic-discipline]"), "{stdout}");
+    assert!(stderr.contains("workspace invariant violation"), "{stderr}");
+}
+
+#[test]
+fn binary_json_report_is_machine_readable() {
+    let dirty = fixture("violations");
+    let (code, stdout, _) =
+        run(&["--json", "--root", dirty.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 65);
+    assert!(stdout.starts_with('{') && stdout.trim_end().ends_with('}'));
+    assert!(stdout.contains("\"clean\":false"), "{stdout}");
+    assert!(stdout.contains("\"lint\":\"no-print\""), "{stdout}");
+
+    let clean = fixture("clean");
+    let (code, stdout, _) =
+        run(&["--json", "--root", clean.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"clean\":true"), "{stdout}");
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+}
+
+#[test]
+fn binary_usage_errors_exit_2() {
+    let (code, _, stderr) = run(&["--bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+
+    let (code, _, stderr) = run(&["--root", "/nonexistent/nowhere"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("workspace root"), "{stderr}");
+
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("USAGE"));
+}

@@ -125,6 +125,7 @@ impl SwapDevice {
         let slot = SwapSlot(self.next_slot);
         self.next_slot += 1;
         let lat = match self.config {
+            // lint: allow(panic, has_room() returned false for SwapConfig::None above)
             SwapConfig::None => unreachable!("has_room() is false for SwapConfig::None"),
             SwapConfig::Zram { .. } => machine.zram_store_ns,
             SwapConfig::File { .. } => machine.file_swap_write_ns,

@@ -78,19 +78,38 @@ impl Publisher {
     /// Swap in a new snapshot (the Arc-swap: readers holding the old
     /// `Arc` keep a consistent view, new readers see the new one).
     pub fn publish(&self, snap: ObsSnapshot) {
-        *self.shared.snap.write().expect("snapshot lock") = Arc::new(snap);
+        // A panicking publisher poisons the lock; the snapshot is a
+        // whole-Arc swap, so the stored value is always consistent and
+        // poison recovery is safe.
+        *self
+            .shared
+            .snap
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(snap);
     }
 
     /// The current snapshot (cheap: one `Arc` clone under a read lock).
     pub fn snapshot(&self) -> Arc<ObsSnapshot> {
-        self.shared.snap.read().expect("snapshot lock").clone()
+        self.shared
+            .snap
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Pull the ring's events-since-last-sync into the shared tail. Only
     /// the new suffix is copied, so the cost is proportional to emission
     /// rate, not ring size.
     pub fn sync_ring(&self, ring: &Ring) {
-        let mut tail = self.shared.tail.lock().expect("tail lock");
+        // Tail bookkeeping is updated field-by-field, but every exit
+        // path leaves it internally consistent (worst case: events the
+        // poisoned sync already counted re-sync as missed), so poison
+        // recovery beats taking the whole server down.
+        let mut tail = self
+            .shared
+            .tail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let total = ring.total_pushed();
         let new = total.saturating_sub(tail.seen);
         if new == 0 {
@@ -114,7 +133,11 @@ impl Publisher {
     /// to pass next time. A subscriber starting at 0 gets the whole
     /// surviving tail.
     pub fn events_since(&self, cursor: u64) -> (Vec<TimedEvent>, u64) {
-        let tail = self.shared.tail.lock().expect("tail lock");
+        let tail = self
+            .shared
+            .tail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let next = tail.first_seq + tail.events.len() as u64;
         let start = cursor.max(tail.first_seq);
         let skip = (start - tail.first_seq) as usize;
@@ -124,18 +147,26 @@ impl Publisher {
     /// Events that never reached the tail (ring overwrites between syncs
     /// plus tail evictions).
     pub fn missed_events(&self) -> u64 {
-        self.shared.tail.lock().expect("tail lock").missed
+        self.shared
+            .tail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .missed
     }
 
     /// Mark the run complete: `/events` streams terminate once drained
     /// and dashboards render a final DONE frame.
     pub fn finish(&self) {
-        self.shared.finished.store(true, Ordering::SeqCst);
+        // ordering: Release pairs with the Acquire load in
+        // `is_finished`: a streamer that observes the flag also sees
+        // every event published before `finish` was called.
+        self.shared.finished.store(true, Ordering::Release);
     }
 
     /// Whether [`finish`](Self::finish) was called.
     pub fn is_finished(&self) -> bool {
-        self.shared.finished.load(Ordering::SeqCst)
+        // ordering: Acquire pairs with the Release store in `finish`.
+        self.shared.finished.load(Ordering::Acquire)
     }
 }
 

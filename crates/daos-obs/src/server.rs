@@ -57,7 +57,10 @@ impl ObsServer {
     /// Stop accepting connections and join the accept loop. Live
     /// `/events` streams notice the flag within one poll interval.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: Release pairs with the Acquire loads in the accept
+        // loop and the event streamers; the flag is the only shared
+        // state, so no stronger ordering is needed.
+        self.stop.store(true, Ordering::Release);
         // Unblock the accept() call with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
@@ -74,7 +77,8 @@ impl Drop for ObsServer {
 
 fn accept_loop(listener: TcpListener, publisher: Publisher, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+        // ordering: Acquire pairs with the Release store in `shutdown`.
+        if stop.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = conn else { continue };
@@ -148,7 +152,8 @@ fn stream_events(
         }
         // Checking `finished` before the drain guarantees the final
         // events published before the flag flipped were sent.
-        if finished || stop.load(Ordering::SeqCst) {
+        // ordering: Acquire pairs with the Release store in `shutdown`.
+        if finished || stop.load(Ordering::Acquire) {
             return finish_chunked(stream);
         }
         thread::sleep(EVENTS_POLL);

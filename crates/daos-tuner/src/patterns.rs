@@ -100,7 +100,7 @@ pub fn classify(samples: &[(f64, f64)]) -> Option<ScorePattern> {
         return None;
     }
     let mut xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     let (lo, hi) = (xs[0], xs[xs.len() - 1]);
     // NaN-safe emptiness check: deliberately NOT `hi <= lo` (NaN must bail).
     #[allow(clippy::neg_cmp_op_on_partial_ord)]

@@ -71,9 +71,13 @@ pub fn best_peak(poly: &Polynomial, lo: f64, hi: f64) -> Peak {
     };
     peaks
         .into_iter()
-        .chain(std::iter::once(endpoint_best))
-        .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(core::cmp::Ordering::Equal))
-        .unwrap()
+        .fold(endpoint_best, |best, p| {
+            if p.y.total_cmp(&best.y).is_gt() {
+                p
+            } else {
+                best
+            }
+        })
 }
 
 #[cfg(test)]

@@ -106,7 +106,7 @@ impl Harness {
         let timing = Timing {
             median_ns: per_iter[per_iter.len() / 2],
             min_ns: per_iter[0],
-            max_ns: *per_iter.last().unwrap(),
+            max_ns: per_iter[per_iter.len() - 1],
             iters,
         };
         let _ = writeln!(self.sink, "{}/{name}: {}", self.group, timing.render());
@@ -141,7 +141,7 @@ impl Harness {
         let timing = Timing {
             median_ns: per_iter[per_iter.len() / 2],
             min_ns: per_iter[0],
-            max_ns: *per_iter.last().unwrap(),
+            max_ns: per_iter[per_iter.len() - 1],
             iters,
         };
         let _ = writeln!(self.sink, "{}/{name}: {}", self.group, timing.render());

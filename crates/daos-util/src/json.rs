@@ -210,7 +210,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -249,7 +249,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -272,7 +272,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -283,7 +283,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             out.push((key, val));
@@ -302,7 +302,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -350,7 +350,9 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err(JsonError::msg("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -439,6 +439,7 @@ pub fn run_cases<S: Strategy>(
         let input = strat.generate(&mut rng);
         if let Err(err) = f(input.clone()) {
             let (min_input, min_err, steps) = shrink_failure(&strat, &f, input, err);
+            // lint: allow(panic, the property harness reports failures by panicking, like #[test])
             panic!(
                 "property '{name}' failed (seed {seed}, re-run with \
                  DAOS_PROP_SEED={seed}): {min_err}\n  minimal input \
@@ -623,7 +624,7 @@ mod tests {
 
         fn combinators_smoke(
             xs in vec_of(0u64..50, 1..8),
-            tag in one_of![Just(0u8), Just(1u8), (2u8..5)],
+            tag in one_of![Just(0u8), Just(1u8), 2u8..5],
             pick in select(vec!["a", "b"]),
         ) {
             prop_assert!(xs.len() < 8);

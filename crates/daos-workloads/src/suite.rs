@@ -112,6 +112,7 @@ pub fn fig4_subset() -> Vec<WorkloadSpec> {
         "splash2x/raytrace",
         "splash2x/water_nsquared",
     ];
+    // lint: allow(panic, NAMES is static and covered by the suite tests below)
     NAMES.iter().map(|n| by_path(n).expect("suite member")).collect()
 }
 

@@ -91,6 +91,7 @@ impl RunConfig {
             "min max 5 max min max hugepage\n\
              2M max min min 7s max nohugepage",
         )
+        // lint: allow(panic, static scheme string, covered by the config tests)
         .expect("static ethp schemes parse");
         Self {
             thp: ThpMode::Madvise,
@@ -110,6 +111,7 @@ impl RunConfig {
     /// the auto-tuner searches over (Figures 4, 5, 8).
     pub fn prcl_with_min_age(min_age: Ns) -> Self {
         let scheme = daos_schemes::parse_scheme_line("4K max min min 5s max pageout")
+            // lint: allow(panic, static scheme string, covered by the config tests)
             .expect("static prcl scheme parses");
         let scheme = Scheme {
             min_age: daos_schemes::Bound::Val(daos_schemes::AgeVal::Time(min_age)),
@@ -137,6 +139,7 @@ impl RunConfig {
             .quota(Quota { sz_limit: 8 << 20, reset_interval: ms(500) })
             .watermarks(Watermarks::reclaim_defaults())
             .build()
+            // lint: allow(panic, static quota/watermark config, covered by the config tests)
             .expect("static damon_reclaim config is valid")];
         cfg
     }

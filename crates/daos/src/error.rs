@@ -38,6 +38,11 @@ pub enum DaosError {
     },
     /// A run configuration pairs schemes with no monitor to feed them.
     SchemesWithoutMonitor,
+    /// `daos-lint` found workspace-invariant violations (the count).
+    Lint {
+        /// How many findings survived annotation suppression.
+        findings: usize,
+    },
     /// Bad command-line usage (unknown subcommand, missing argument...).
     Usage(String),
 }
@@ -65,7 +70,8 @@ impl DaosError {
             | DaosError::SchemeConfig(_)
             | DaosError::Record(_)
             | DaosError::Json(_)
-            | DaosError::SchemesWithoutMonitor => 65,
+            | DaosError::SchemesWithoutMonitor
+            | DaosError::Lint { .. } => 65,
             DaosError::Io { .. } => 74,
             DaosError::Mm(_) | DaosError::Trace(_) => 70,
         }
@@ -87,6 +93,9 @@ impl core::fmt::Display for DaosError {
             DaosError::SchemesWithoutMonitor => {
                 write!(f, "schemes need a monitor: set `monitor` in the run configuration")
             }
+            DaosError::Lint { findings } => {
+                write!(f, "{findings} workspace invariant violation(s)")
+            }
             DaosError::Usage(msg) => write!(f, "{msg}"),
         }
     }
@@ -104,7 +113,9 @@ impl std::error::Error for DaosError {
             DaosError::Trace(e) => Some(e),
             DaosError::Json(e) => Some(e),
             DaosError::Io { source, .. } => Some(source),
-            DaosError::SchemesWithoutMonitor | DaosError::Usage(_) => None,
+            DaosError::SchemesWithoutMonitor
+            | DaosError::Lint { .. }
+            | DaosError::Usage(_) => None,
         }
     }
 }

@@ -3,7 +3,7 @@
 //! whole Fig. 1 workflow under a deterministic virtual clock.
 
 use daos_mm::clock::{sec, Ns};
-use daos_mm::error::MmResult;
+use daos_mm::error::{MmError, MmResult};
 use daos_mm::machine::MachineProfile;
 use daos_mm::stats::{KernelStats, ProcStats};
 use daos_mm::system::MemorySystem;
@@ -238,7 +238,8 @@ pub fn run_observed(
 
         // 5. Observation hook (a single branch when nobody listens).
         if let Some(obs) = observer.as_deref_mut() {
-            let stats = sys.proc_stats(pid).expect("workload process exists");
+            let stats =
+                sys.proc_stats(pid).ok_or(MmError::NoSuchProcess(pid))?;
             obs.on_epoch(&RunProgress {
                 epoch: idx,
                 nr_epochs,
@@ -253,7 +254,7 @@ pub fn run_observed(
     }
 
     let runtime_ns = sys.now();
-    let stats = *sys.proc_stats(pid).expect("workload process exists");
+    let stats = *sys.proc_stats(pid).ok_or(MmError::NoSuchProcess(pid))?;
     Ok(RunResult {
         config: config.name.clone(),
         workload: wl.name(),

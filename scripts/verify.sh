@@ -1,6 +1,9 @@
 #!/bin/sh
-# Tier-1 verification: hermetic offline build + full test suite, plus a
-# guard that no Cargo.toml reintroduces a registry (non-path) dependency.
+# Tier-1 verification: hermetic offline build + full test suite, plus
+# the in-tree static analysis (`daos-lint`) that machine-checks the
+# workspace invariants: no registry (non-path) dependencies, no printing
+# from library code, panic discipline, deterministic simulation crates,
+# justified atomic orderings, and no dead tracepoints.
 #
 # The workspace must build from a clean clone with no network and an
 # empty registry cache; every dependency is an in-tree path dependency
@@ -8,50 +11,6 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-
-echo "== guard: no registry dependencies in any Cargo.toml =="
-# Inside [dependencies]/[dev-dependencies]/[build-dependencies] (or the
-# workspace.dependencies table), every entry must be `X.workspace = true`
-# or an inline table containing `path = ...`. Version strings and
-# `version = ...` keys are what this guard rejects.
-fail=0
-for manifest in Cargo.toml crates/*/Cargo.toml; do
-    bad=$(awk '
-        /^\[/ {
-            indeps = ($0 ~ /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\]/)
-            next
-        }
-        indeps && NF && $0 !~ /^[[:space:]]*#/ {
-            if ($0 !~ /workspace[[:space:]]*=[[:space:]]*true/ && $0 !~ /path[[:space:]]*=/)
-                print FILENAME ": " $0
-        }
-    ' "$manifest")
-    if [ -n "$bad" ]; then
-        echo "registry dependency found:"
-        echo "$bad"
-        fail=1
-    fi
-done
-[ "$fail" -eq 0 ] || { echo "FAIL: non-path dependencies present"; exit 1; }
-echo "ok"
-
-echo "== guard: no printing from library code =="
-# Library crates report through daos-trace (events + metrics) or return
-# values; only the daos-cli binary and the daos-bench bin/ report
-# binaries may talk to stdout/stderr. Doc comments are exempt.
-bad=$(grep -rn 'print!\|println!\|eprint!\|eprintln!' crates/*/src \
-        --include='*.rs' \
-        | grep -v '^crates/daos-cli/' \
-        | grep -v '/src/bin/' \
-        | grep -v '^[^:]*:[0-9]*:[[:space:]]*//' \
-        || true)
-if [ -n "$bad" ]; then
-    echo "library code printing directly (use daos-trace or return values):"
-    echo "$bad"
-    echo "FAIL: stdout/stderr use outside daos-cli and bench binaries"
-    exit 1
-fi
-echo "ok"
 
 echo "== offline release build (must be warning-free) =="
 # `cargo build` replays cached warnings for already-built crates, so
@@ -65,6 +24,18 @@ if echo "$build_log" | grep -q "^warning"; then
     echo "FAIL: release build emits warnings"
     exit 1
 fi
+echo "ok"
+
+echo "== daos-lint: workspace invariants =="
+# The token-level replacement for the old awk/grep guards: a
+# comment/string-aware lexer, so doc examples and multiline macro calls
+# can neither false-positive nor slip through. See DESIGN.md §11.
+lint_out=$(cargo run -q -p daos-lint --release --offline -- --json) || {
+    echo "$lint_out"
+    echo "FAIL: daos-lint found workspace-invariant violations"
+    echo "(run 'cargo run -p daos-lint --release' for the human-readable list)"
+    exit 1
+}
 echo "ok"
 
 echo "== golden: fixed-seed trace reports are byte-stable =="

@@ -139,9 +139,12 @@ fn out_path() -> std::path::PathBuf {
     }
 }
 
-/// `pipeline --check FILE`: exit 0 iff FILE parses as JSON (the
-/// verify.sh well-formedness probe, sharing the in-tree parser).
-fn check(path: &str) -> ! {
+/// Hot-path timings gated against the committed baseline by
+/// `--check --baseline`: the region/mm rebuild targets, so a rewrite
+/// that quietly regresses either shows up in verify.sh.
+const GATED: [&str; 2] = ["schemes/apply_1000_regions", "monitor/aggregate_window"];
+
+fn parse_artifact(path: &str) -> Json {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -150,7 +153,7 @@ fn check(path: &str) -> ! {
         }
     };
     match daos_util::json::parse(&text) {
-        Ok(_) => std::process::exit(0),
+        Ok(doc) => doc,
         Err(e) => {
             eprintln!("pipeline --check: {path} is not valid JSON: {e}");
             std::process::exit(65);
@@ -158,11 +161,63 @@ fn check(path: &str) -> ! {
     }
 }
 
+fn median_of(doc: &Json, path: &str, bench: &str) -> f64 {
+    let median = doc.get("results").and_then(|r| r.get(bench)).and_then(|t| t.get("median_ns"));
+    match median {
+        Some(Json::F64(v)) => *v,
+        Some(Json::U64(v)) => *v as f64,
+        _ => {
+            eprintln!("pipeline --check: {path} has no median for {bench}");
+            std::process::exit(65);
+        }
+    }
+}
+
+/// `pipeline --check FILE [--baseline BASE --margin PCT]`: exit 0 iff
+/// FILE parses as a bench artifact and (when a baseline is given) none
+/// of the gated hot-path medians exceeds the baseline median by more
+/// than PCT percent. Exit 65 on a regression — the verify.sh perf gate.
+fn check(path: &str, baseline: Option<&str>, margin_pct: f64) -> ! {
+    let doc = parse_artifact(path);
+    let Some(base_path) = baseline else { std::process::exit(0) };
+    let base = parse_artifact(base_path);
+    let mut regressed = false;
+    for bench in GATED {
+        let got = median_of(&doc, path, bench);
+        let reference = median_of(&base, base_path, bench);
+        let bound = reference * (1.0 + margin_pct / 100.0);
+        if got > bound {
+            eprintln!(
+                "pipeline --check: {bench} regressed: {got:.0} ns > {bound:.0} ns \
+                 (baseline {reference:.0} ns + {margin_pct}% margin)"
+            );
+            regressed = true;
+        } else {
+            println!("pipeline --check: {bench} ok: {got:.0} ns <= {bound:.0} ns");
+        }
+    }
+    std::process::exit(if regressed { 65 } else { 0 });
+}
+
+fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(|s| s.as_str())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
-    if let Some(i) = argv.iter().position(|a| a == "--check") {
-        match argv.get(i + 1) {
-            Some(path) => check(path),
+    if argv.iter().any(|a| a == "--check") {
+        match flag_value(&argv, "--check") {
+            Some(path) => {
+                let baseline = flag_value(&argv, "--baseline");
+                let margin = match flag_value(&argv, "--margin") {
+                    Some(m) => m.parse().unwrap_or_else(|_| {
+                        eprintln!("pipeline --margin needs a number (percent)");
+                        std::process::exit(64);
+                    }),
+                    None => 100.0,
+                };
+                check(path, baseline, margin)
+            }
             None => {
                 eprintln!("pipeline --check needs a file argument");
                 std::process::exit(64);

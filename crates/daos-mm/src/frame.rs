@@ -6,12 +6,26 @@
 //! the information the paper's physical-address monitoring primitive needs
 //! ("uses the mappings from physical address to virtual addresses (rmap)
 //! instead of struct vma", §3.1).
+//!
+//! Metadata is held in lazily materialised slabs of [`SLAB_FRAMES`]
+//! entries. A machine with 128 GiB of DRAM has ~33 M frames; eagerly
+//! building a `Vec<FrameMeta>` (plus a full free list) for all of them
+//! made `FrameAllocator::new` the dominant cost of constructing a
+//! simulated machine. Frames are instead handed out from a watermark
+//! (`next_fresh`) in ascending order — identical to the old free-list
+//! order — and a slab's metadata exists only once a frame in it has been
+//! allocated at least once. Freed frames go to a LIFO recycle list and
+//! are preferred over fresh ones, preserving the kernel-like reuse
+//! behaviour the old allocator had.
 
 use crate::addr::PAGE_SIZE;
 use crate::process::Pid;
 
 /// Identifier of a physical page frame (dense, 0-based).
 pub type FrameId = u32;
+
+/// Frames of metadata per lazily-allocated slab (16 MiB of DRAM each).
+pub const SLAB_FRAMES: usize = 4096;
 
 /// Per-frame metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,35 +42,43 @@ impl FrameMeta {
     const FREE: FrameMeta = FrameMeta { owner: None, touched: false };
 }
 
-/// A dense allocator over a fixed number of physical frames.
+/// A dense allocator over a fixed number of physical frames, with
+/// slab-lazy metadata.
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
-    meta: Vec<FrameMeta>,
+    capacity: usize,
+    /// Lazily materialised metadata slabs of [`SLAB_FRAMES`] frames each.
+    slabs: Vec<Option<Box<[FrameMeta]>>>,
+    /// LIFO recycle list of freed frames, preferred over fresh ones.
     free: Vec<FrameId>,
+    /// Next never-allocated frame; all frames `>= next_fresh` outside
+    /// `free` are virgin and implicitly [`FrameMeta::FREE`].
+    next_fresh: FrameId,
 }
 
 impl FrameAllocator {
     /// Build an allocator managing `capacity_bytes` of physical memory.
+    /// O(capacity / SLAB_FRAMES), not O(capacity).
     pub fn new(capacity_bytes: u64) -> Self {
         let nr = (capacity_bytes / PAGE_SIZE) as usize;
         Self {
-            meta: vec![FrameMeta::FREE; nr],
-            // LIFO free list: freshly freed frames are reused first, which
-            // is also what the kernel's per-cpu page lists encourage.
-            free: (0..nr as FrameId).rev().collect(),
+            capacity: nr,
+            slabs: (0..nr.div_ceil(SLAB_FRAMES)).map(|_| None).collect(),
+            free: Vec::new(),
+            next_fresh: 0,
         }
     }
 
     /// Total number of frames.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.meta.len()
+        self.capacity
     }
 
     /// Number of currently free frames.
     #[inline]
     pub fn nr_free(&self) -> usize {
-        self.free.len()
+        self.capacity - self.next_fresh as usize + self.free.len()
     }
 
     /// Number of currently allocated frames.
@@ -71,12 +93,39 @@ impl FrameAllocator {
         self.nr_used() as u64 * PAGE_SIZE
     }
 
+    /// Metadata slot for `id`, materialising its slab on first use.
+    fn meta_mut(&mut self, id: FrameId) -> &mut FrameMeta {
+        let slab = &mut self.slabs[id as usize / SLAB_FRAMES];
+        let slab = slab
+            .get_or_insert_with(|| vec![FrameMeta::FREE; SLAB_FRAMES].into_boxed_slice());
+        &mut slab[id as usize % SLAB_FRAMES]
+    }
+
+    /// Metadata for `id` without materialising (virgin slabs read FREE).
+    #[inline]
+    fn meta(&self, id: FrameId) -> FrameMeta {
+        match self.slabs.get(id as usize / SLAB_FRAMES) {
+            Some(Some(slab)) => slab[id as usize % SLAB_FRAMES],
+            _ => FrameMeta::FREE,
+        }
+    }
+
     /// Allocate one frame for `(pid, vaddr)`. Returns `None` when DRAM is
-    /// exhausted — the caller is expected to reclaim and retry.
+    /// exhausted — the caller is expected to reclaim and retry. Recycled
+    /// frames are reused LIFO before fresh ones are broken in ascending
+    /// order.
     #[inline]
     pub fn alloc(&mut self, pid: Pid, vaddr: u64) -> Option<FrameId> {
-        let id = self.free.pop()?;
-        self.meta[id as usize] = FrameMeta { owner: Some((pid, vaddr)), touched: false };
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None if (self.next_fresh as usize) < self.capacity => {
+                let id = self.next_fresh;
+                self.next_fresh += 1;
+                id
+            }
+            None => return None,
+        };
+        *self.meta_mut(id) = FrameMeta { owner: Some((pid, vaddr)), touched: false };
         Some(id)
     }
 
@@ -87,36 +136,33 @@ impl FrameAllocator {
     /// be a double-free bug in the substrate.
     #[inline]
     pub fn free(&mut self, id: FrameId) {
-        debug_assert!(
-            self.meta[id as usize].owner.is_some(),
-            "double free of frame {id}"
-        );
-        self.meta[id as usize] = FrameMeta::FREE;
+        debug_assert!(self.meta(id).owner.is_some(), "double free of frame {id}");
+        *self.meta_mut(id) = FrameMeta::FREE;
         self.free.push(id);
     }
 
     /// The rmap lookup: owner of a frame, if mapped.
     #[inline]
     pub fn owner(&self, id: FrameId) -> Option<(Pid, u64)> {
-        self.meta.get(id as usize).and_then(|m| m.owner)
+        self.meta(id).owner
     }
 
     /// Whether the frame has been touched since it was mapped.
     #[inline]
     pub fn touched(&self, id: FrameId) -> bool {
-        self.meta[id as usize].touched
+        self.meta(id).touched
     }
 
     /// Record a CPU touch of the frame.
     #[inline]
     pub fn mark_touched(&mut self, id: FrameId) {
-        self.meta[id as usize].touched = true;
+        self.meta_mut(id).touched = true;
     }
 
     /// Iterate over `(frame, meta)` of all frames; the physical-address
-    /// monitoring primitive walks this.
-    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &FrameMeta)> {
-        self.meta.iter().enumerate().map(|(i, m)| (i as FrameId, m))
+    /// monitoring primitive walks this. Virgin slabs yield FREE metadata.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, FrameMeta)> + '_ {
+        (0..self.capacity as FrameId).map(|id| (id, self.meta(id)))
     }
 }
 
@@ -149,6 +195,13 @@ mod tests {
     }
 
     #[test]
+    fn fresh_frames_are_handed_out_in_order() {
+        let mut fa = FrameAllocator::new(4 * PAGE_SIZE);
+        let ids: Vec<FrameId> = (0..4).map(|i| fa.alloc(1, i * PAGE_SIZE).unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "fresh allocation order is dense ascending");
+    }
+
+    #[test]
     fn freed_frame_is_reused_lifo() {
         let mut fa = FrameAllocator::new(4 * PAGE_SIZE);
         let a = fa.alloc(1, 0).unwrap();
@@ -178,5 +231,26 @@ mod tests {
         let f2 = fa.alloc(1, 0x2000).unwrap();
         assert_eq!(f, f2);
         assert!(!fa.touched(f2), "touch state must not leak across owners");
+    }
+
+    #[test]
+    fn construction_is_slab_lazy() {
+        // 1 GiB of frames: only slab pointers, no metadata yet.
+        let fa = FrameAllocator::new(1 << 30);
+        assert!(fa.slabs.iter().all(|s| s.is_none()));
+        assert_eq!(fa.nr_free(), fa.capacity());
+        // Reads of virgin frames see FREE metadata without materialising.
+        assert_eq!(fa.owner(123_456), None);
+        assert!(!fa.touched(123_456));
+    }
+
+    #[test]
+    fn iter_covers_virgin_and_used_frames() {
+        let mut fa = FrameAllocator::new(SLAB_FRAMES as u64 * 2 * PAGE_SIZE);
+        let f = fa.alloc(7, 0x4000).unwrap();
+        let mapped: Vec<FrameId> =
+            fa.iter().filter(|(_, m)| m.owner.is_some()).map(|(id, _)| id).collect();
+        assert_eq!(mapped, vec![f]);
+        assert_eq!(fa.iter().count(), fa.capacity());
     }
 }

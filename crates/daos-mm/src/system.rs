@@ -161,7 +161,7 @@ impl MemorySystem {
     pub fn munmap(&mut self, pid: Pid, range: AddrRange) -> MmResult<()> {
         let vma = self.proc_mut(pid)?.take_vma(range)?;
         let mut freed_pages = 0u64;
-        for (_addr, pte) in vma.iter_ptes() {
+        for (_addr, pte) in vma.iter_mapped() {
             match pte.state {
                 PteState::Resident(f) => {
                     self.frames.free(f);
@@ -224,16 +224,13 @@ impl MemorySystem {
                              faults: &mut Vec<u64>,
                              out: &mut AccessOutcome,
                              addr: u64| {
-                    let huge = vma.is_huge(addr);
-                    let pte = vma.pte_mut(addr);
-                    match pte.state {
-                        PteState::Resident(f) => {
-                            pte.accessed = true;
+                    match vma.touch_resident(addr) {
+                        Some(f) => {
                             frames.mark_touched(f);
                             out.touched_pages += 1;
-                            out.touched_huge += huge as u64;
+                            out.touched_huge += vma.is_huge(addr) as u64;
                         }
-                        _ => faults.push(addr),
+                        None => faults.push(addr),
                     }
                 };
                 match batch.pattern {
@@ -322,11 +319,12 @@ impl MemorySystem {
 
         let proc = self.proc_mut(pid)?;
         let vma = proc.find_vma_mut(addr).ok_or(MmError::Unmapped(addr))?;
-        let pte = vma.pte_mut(addr);
-        pte.state = PteState::Resident(frame);
-        pte.accessed = true;
-        pte.lru_gen = pte.lru_gen.wrapping_add(1);
-        let gen = pte.lru_gen;
+        let gen = vma.with_pte(addr, |pte| {
+            pte.state = PteState::Resident(frame);
+            pte.accessed = true;
+            pte.lru_gen = pte.lru_gen.wrapping_add(1);
+            pte.lru_gen
+        });
         proc.rss_pages += 1;
         proc.stats.peak_rss_bytes = proc.stats.peak_rss_bytes.max(proc.rss_bytes());
         if load_cost.is_some() {
@@ -388,18 +386,19 @@ impl MemorySystem {
             let verdict = {
                 let Some(proc) = self.procs.get_mut(e.pid as usize) else { continue };
                 let Some(vma) = proc.find_vma_mut(e.addr) else { continue };
-                let pte = vma.pte_mut(e.addr);
-                if pte.lru_gen != e.gen || !pte.is_resident() {
-                    None // stale
-                } else if pte.accessed {
-                    // Second chance: clear and promote to active.
-                    pte.accessed = false;
-                    pte.lru_gen = pte.lru_gen.wrapping_add(1);
-                    Some((true, pte.lru_gen))
-                } else {
-                    pte.lru_gen = pte.lru_gen.wrapping_add(1);
-                    Some((false, pte.lru_gen))
-                }
+                vma.with_pte(e.addr, |pte| {
+                    if pte.lru_gen != e.gen || !pte.is_resident() {
+                        None // stale
+                    } else if pte.accessed {
+                        // Second chance: clear and promote to active.
+                        pte.accessed = false;
+                        pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                        Some((true, pte.lru_gen))
+                    } else {
+                        pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                        Some((false, pte.lru_gen))
+                    }
+                })
             };
             match verdict {
                 None => continue,
@@ -433,15 +432,16 @@ impl MemorySystem {
     fn revalidate_bump(&mut self, pid: Pid, addr: u64, gen: u32, clear_accessed: bool) -> Option<u32> {
         let proc = self.procs.get_mut(pid as usize)?;
         let vma = proc.find_vma_mut(addr)?;
-        let pte = vma.pte_mut(addr);
-        if pte.lru_gen != gen || !pte.is_resident() {
-            return None;
-        }
-        if clear_accessed {
-            pte.accessed = false;
-        }
-        pte.lru_gen = pte.lru_gen.wrapping_add(1);
-        Some(pte.lru_gen)
+        vma.with_pte(addr, |pte| {
+            if pte.lru_gen != gen || !pte.is_resident() {
+                return None;
+            }
+            if clear_accessed {
+                pte.accessed = false;
+            }
+            pte.lru_gen = pte.lru_gen.wrapping_add(1);
+            Some(pte.lru_gen)
+        })
     }
 
     /// Unmap one resident page to swap. Returns the *synchronous* kernel
@@ -452,15 +452,18 @@ impl MemorySystem {
         self.kstats.swap_write_ns += store_ns;
         let proc = self.proc_mut(pid)?;
         let vma = proc.find_vma_mut(addr).ok_or(MmError::Unmapped(addr))?;
-        let pte = vma.pte_mut(addr);
-        let PteState::Resident(frame) = pte.state else {
+        let frame = vma.with_pte(addr, |pte| {
+            let PteState::Resident(frame) = pte.state else { return None };
+            pte.state = PteState::Swapped(slot);
+            pte.accessed = false;
+            pte.lru_gen = pte.lru_gen.wrapping_add(1);
+            Some(frame)
+        });
+        let Some(frame) = frame else {
             // Caller validated residency; losing the race is a bug.
             self.swap.discard(slot);
             return Err(MmError::Unmapped(addr));
         };
-        pte.state = PteState::Swapped(slot);
-        pte.accessed = false;
-        pte.lru_gen = pte.lru_gen.wrapping_add(1);
         proc.rss_pages -= 1;
         proc.stats.swapouts += 1;
         self.frames.free(frame);
@@ -476,10 +479,11 @@ impl MemorySystem {
     pub fn check_accessed_clear(&mut self, pid: Pid, addr: u64) -> Option<bool> {
         let proc = self.procs.get_mut(pid as usize)?;
         let vma = proc.find_vma_mut(addr)?;
-        let pte = vma.pte_mut(addr);
-        let was = pte.accessed;
-        pte.accessed = false;
-        Some(was)
+        Some(vma.with_pte(addr, |pte| {
+            let was = pte.accessed;
+            pte.accessed = false;
+            was
+        }))
     }
 
     /// Peek at the accessed bit without clearing (ground-truth checks).
@@ -548,13 +552,14 @@ impl MemorySystem {
     fn reference_check(&mut self, pid: Pid, addr: u64) -> bool {
         let Some(proc) = self.procs.get_mut(pid as usize) else { return false };
         let Some(vma) = proc.find_vma_mut(addr) else { return false };
-        let pte = vma.pte_mut(addr);
-        if pte.accessed {
-            pte.accessed = false;
-            true
-        } else {
-            false
-        }
+        vma.with_pte(addr, |pte| {
+            if pte.accessed {
+                pte.accessed = false;
+                true
+            } else {
+                false
+            }
+        })
     }
 
     /// Page out by *physical* address range, via rmap (prec-style targets).
@@ -586,12 +591,7 @@ impl MemorySystem {
         let proc = self.proc(pid)?;
         let mut addrs = Vec::new();
         for vma in proc.vmas() {
-            let Some(isect) = vma.range.intersect(&range) else { continue };
-            for addr in isect.pages() {
-                if vma.pte(addr).is_resident() {
-                    addrs.push(addr);
-                }
-            }
+            vma.collect_resident_in(&range, &mut addrs);
         }
         Ok(addrs)
     }
@@ -621,30 +621,36 @@ impl MemorySystem {
                 if vma.is_huge(chunk) {
                     continue;
                 }
-                for addr in chunk_range.pages() {
-                    if matches!(vma.pte(addr).state, PteState::Swapped(_)) {
-                        continue 'chunks;
-                    }
+                if vma.chunk_nr_swapped(chunk) > 0 {
+                    continue 'chunks;
                 }
             }
             // Fill holes. If DRAM runs out mid-chunk, abandon the chunk
             // (the kernel's fast path also refuses to reclaim for THP).
             let mut allocated: Vec<(u64, u32)> = Vec::new();
             let mut failed = false;
-            for addr in chunk_range.pages() {
-                let is_hole = {
-                    let proc = self.proc(pid)?;
-                    let vma = proc.find_vma(addr).ok_or(MmError::Unmapped(addr))?;
-                    matches!(vma.pte(addr).state, PteState::None)
-                };
-                if !is_hole {
-                    continue;
-                }
-                match self.frames.alloc(pid, addr) {
-                    Some(f) => allocated.push((addr, f)),
-                    None => {
-                        failed = true;
-                        break;
+            // Fully-resident chunks (no swap, checked above) have no holes.
+            let has_holes = {
+                let proc = self.proc(pid)?;
+                let vma = proc.find_vma(chunk).ok_or(MmError::Unmapped(chunk))?;
+                vma.chunk_nr_resident(chunk) < crate::addr::PAGES_PER_HUGE
+            };
+            if has_holes {
+                for addr in chunk_range.pages() {
+                    let is_hole = {
+                        let proc = self.proc(pid)?;
+                        let vma = proc.find_vma(addr).ok_or(MmError::Unmapped(addr))?;
+                        matches!(vma.pte(addr).state, PteState::None)
+                    };
+                    if !is_hole {
+                        continue;
+                    }
+                    match self.frames.alloc(pid, addr) {
+                        Some(f) => allocated.push((addr, f)),
+                        None => {
+                            failed = true;
+                            break;
+                        }
                     }
                 }
             }
@@ -658,11 +664,12 @@ impl MemorySystem {
             let proc = self.proc_mut(pid)?;
             for (addr, frame) in allocated {
                 let vma = proc.find_vma_mut(addr).ok_or(MmError::Unmapped(addr))?;
-                let pte = vma.pte_mut(addr);
-                pte.state = PteState::Resident(frame);
-                // Filled subpages are *not* accessed — that is the bloat.
-                pte.accessed = false;
-                pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                vma.with_pte(addr, |pte| {
+                    pte.state = PteState::Resident(frame);
+                    // Filled subpages are *not* accessed — that is the bloat.
+                    pte.accessed = false;
+                    pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                });
             }
             proc.rss_pages += nr_filled;
             proc.stats.peak_rss_bytes = proc.stats.peak_rss_bytes.max(proc.rss_bytes());
@@ -696,11 +703,7 @@ impl MemorySystem {
                         continue;
                     }
                     let chunk_range = AddrRange::new(chunk, chunk + HUGE_PAGE_SIZE);
-                    let resident = chunk_range
-                        .pages()
-                        .filter(|&a| vma.pte(a).is_resident())
-                        .count() as u64;
-                    if resident >= min_resident {
+                    if vma.chunk_nr_resident(chunk) >= min_resident {
                         v.push(chunk_range);
                     }
                 }
@@ -745,7 +748,9 @@ impl MemorySystem {
             {
                 let proc = self.proc(pid)?;
                 let vma = proc.find_vma(chunk).ok_or(MmError::Unmapped(chunk))?;
-                for addr in chunk_range.pages() {
+                let mut resident = Vec::new();
+                vma.collect_resident_in(&chunk_range, &mut resident);
+                for addr in resident {
                     if let PteState::Resident(f) = vma.pte(addr).state {
                         if !self.frames.touched(f) {
                             to_free.push((addr, f));
@@ -760,10 +765,11 @@ impl MemorySystem {
             let proc = self.proc_mut(pid)?;
             for (addr, _) in &to_free {
                 let vma = proc.find_vma_mut(*addr).ok_or(MmError::Unmapped(*addr))?;
-                let pte = vma.pte_mut(*addr);
-                pte.state = PteState::None;
-                pte.accessed = false;
-                pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                vma.with_pte(*addr, |pte| {
+                    pte.state = PteState::None;
+                    pte.accessed = false;
+                    pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                });
             }
             proc.rss_pages -= nr_freed;
             proc.stats.thp_demotions += 1;
@@ -797,13 +803,14 @@ impl MemorySystem {
     fn revalidate_current(&mut self, pid: Pid, addr: u64) -> Option<u32> {
         let proc = self.procs.get_mut(pid as usize)?;
         let vma = proc.find_vma_mut(addr)?;
-        let pte = vma.pte_mut(addr);
-        if !pte.is_resident() {
-            return None;
-        }
-        pte.accessed = false;
-        pte.lru_gen = pte.lru_gen.wrapping_add(1);
-        Some(pte.lru_gen)
+        vma.with_pte(addr, |pte| {
+            if !pte.is_resident() {
+                return None;
+            }
+            pte.accessed = false;
+            pte.lru_gen = pte.lru_gen.wrapping_add(1);
+            Some(pte.lru_gen)
+        })
     }
 
     /// LRU-activate resident pages of `range` (the DAMON_LRU_SORT
@@ -826,12 +833,13 @@ impl MemorySystem {
     fn bump_gen_keep_accessed(&mut self, pid: Pid, addr: u64) -> Option<u32> {
         let proc = self.procs.get_mut(pid as usize)?;
         let vma = proc.find_vma_mut(addr)?;
-        let pte = vma.pte_mut(addr);
-        if !pte.is_resident() {
-            return None;
-        }
-        pte.lru_gen = pte.lru_gen.wrapping_add(1);
-        Some(pte.lru_gen)
+        vma.with_pte(addr, |pte| {
+            if !pte.is_resident() {
+                return None;
+            }
+            pte.lru_gen = pte.lru_gen.wrapping_add(1);
+            Some(pte.lru_gen)
+        })
     }
 
     /// `MADV_WILLNEED`-style prefetch: swap swapped pages of `range` back
@@ -842,12 +850,7 @@ impl MemorySystem {
             let proc = self.proc(pid)?;
             let mut v = Vec::new();
             for vma in proc.vmas() {
-                let Some(isect) = vma.range.intersect(&range) else { continue };
-                for addr in isect.pages() {
-                    if matches!(vma.pte(addr).state, PteState::Swapped(_)) {
-                        v.push(addr);
-                    }
-                }
+                vma.collect_swapped_in(&range, &mut v);
             }
             v
         };
@@ -869,11 +872,12 @@ impl MemorySystem {
             cost += self.swap.load(slot, &self.machine);
             let proc = self.proc_mut(pid)?;
             let vma = proc.find_vma_mut(addr).ok_or(MmError::Unmapped(addr))?;
-            let pte = vma.pte_mut(addr);
-            pte.state = PteState::Resident(frame);
-            pte.accessed = false;
-            pte.lru_gen = pte.lru_gen.wrapping_add(1);
-            let gen = pte.lru_gen;
+            let gen = vma.with_pte(addr, |pte| {
+                pte.state = PteState::Resident(frame);
+                pte.accessed = false;
+                pte.lru_gen = pte.lru_gen.wrapping_add(1);
+                pte.lru_gen
+            });
             proc.rss_pages += 1;
             proc.stats.peak_rss_bytes = proc.stats.peak_rss_bytes.max(proc.rss_bytes());
             proc.stats.swapins += 1;
@@ -895,16 +899,11 @@ impl MemorySystem {
     /// Number of swapped pages of `pid` within `range`.
     pub fn nr_swapped_in(&self, pid: Pid, range: AddrRange) -> u64 {
         let Ok(proc) = self.proc(pid) else { return 0 };
-        let mut n = 0;
+        let mut v = Vec::new();
         for vma in proc.vmas() {
-            let Some(isect) = vma.range.intersect(&range) else { continue };
-            for addr in isect.pages() {
-                if matches!(vma.pte(addr).state, PteState::Swapped(_)) {
-                    n += 1;
-                }
-            }
+            vma.collect_swapped_in(&range, &mut v);
         }
-        n
+        v.len() as u64
     }
 
     /// Bytes of `pid`'s address space currently huge-mapped.

@@ -4,13 +4,38 @@
 //! per 4 KiB page plus per-2 MiB-chunk THP state. The PTE `accessed` bit is
 //! the hardware feature the paper's monitoring primitives read and clear
 //! (§3.1: "accessed bits in page table entries").
-
+//!
+//! ## Sparse page table
+//!
+//! PTEs live in a two-level table: 2 MiB chunks of 512 entries, aligned
+//! to *absolute* 2 MiB boundaries (so a page-table chunk coincides with
+//! the THP chunk covering the same addresses), materialised only when a
+//! page in the chunk first leaves the `None` state. A fresh VMA costs
+//! O(chunks) pointers instead of O(pages) PTEs, which is what lets
+//! 10⁶–10⁸-page address spaces exist without a dense `Vec<Pte>` per VMA.
+//!
+//! Each chunk carries resident/swapped counters plus a per-8-page-block
+//! resident count, and the VMA keeps running totals. Scans for resident
+//! or swapped pages ([`Vma::collect_resident_in`],
+//! [`Vma::collect_swapped_in`]) skip missing chunks, chunks whose counter
+//! is zero, and zero blocks — so paging out an already-evicted region is
+//! O(blocks touched), not O(pages in range). All state changes must go
+//! through [`Vma::with_pte`] (or the [`Vma::touch_resident`] fast path),
+//! which keeps the counters exact.
 
 use crate::addr::{
-    huge_align_down, huge_align_up, AddrRange, HUGE_PAGE_SIZE, PAGE_SHIFT, PAGE_SIZE,
+    huge_align_down, huge_align_up, AddrRange, HUGE_PAGE_SIZE, PAGES_PER_HUGE, PAGE_SHIFT,
+    PAGE_SIZE,
 };
 use crate::frame::FrameId;
 use crate::swap::SwapSlot;
+
+/// Pages per page-table chunk (one chunk = one aligned 2 MiB span).
+pub const PT_CHUNK_PAGES: usize = PAGES_PER_HUGE as usize;
+/// Pages per block inside a chunk (the fine-grained scan-skip unit).
+const PT_BLOCK_PAGES: usize = 8;
+/// Blocks per chunk.
+const PT_BLOCKS: usize = PT_CHUNK_PAGES / PT_BLOCK_PAGES;
 
 /// Backing state of one virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +71,29 @@ impl Pte {
     }
 }
 
+/// One materialised 2 MiB span of the page table.
+#[derive(Debug, Clone, PartialEq)]
+struct PteChunk {
+    ptes: [Pte; PT_CHUNK_PAGES],
+    /// Resident PTEs in this chunk.
+    nr_resident: u32,
+    /// Swapped PTEs in this chunk.
+    nr_swapped: u32,
+    /// Resident PTEs per 8-page block, for sub-chunk scan skipping.
+    block_resident: [u8; PT_BLOCKS],
+}
+
+impl PteChunk {
+    fn new() -> Box<Self> {
+        Box::new(PteChunk {
+            ptes: [Pte::EMPTY; PT_CHUNK_PAGES],
+            nr_resident: 0,
+            nr_swapped: 0,
+            block_resident: [0; PT_BLOCKS],
+        })
+    }
+}
+
 /// Per-VMA transparent-huge-page policy, mirroring
 /// `MADV_HUGEPAGE`/`MADV_NOHUGEPAGE` plus the system-wide "always" mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +114,13 @@ pub struct Vma {
     pub range: AddrRange,
     /// THP policy for this area.
     pub thp: ThpMode,
-    ptes: Vec<Pte>,
+    /// Sparse page table: one optional chunk per aligned 2 MiB span
+    /// overlapping the VMA. Slot 0 covers `huge_align_down(range.start)`.
+    chunks: Vec<Option<Box<PteChunk>>>,
+    /// Running count of resident PTEs across all chunks.
+    total_resident: u64,
+    /// Running count of swapped PTEs across all chunks.
+    total_swapped: u64,
     /// Per-aligned-2 MiB-chunk huge flag. Chunk 0 starts at
     /// `huge_align_up(range.start)`.
     huge: Vec<bool>,
@@ -77,12 +131,15 @@ impl Vma {
     pub fn new(range: AddrRange, thp: ThpMode) -> Self {
         debug_assert!(range.start.is_multiple_of(PAGE_SIZE) && range.end.is_multiple_of(PAGE_SIZE));
         debug_assert!(!range.is_empty());
-        let nr_pages = range.nr_pages() as usize;
+        let nr_slots =
+            ((huge_align_up(range.end) - huge_align_down(range.start)) / HUGE_PAGE_SIZE) as usize;
         let nr_chunks = Self::nr_aligned_chunks(&range);
         Self {
             range,
             thp,
-            ptes: vec![Pte::EMPTY; nr_pages],
+            chunks: (0..nr_slots).map(|_| None).collect(),
+            total_resident: 0,
+            total_swapped: 0,
             huge: vec![false; nr_chunks],
         }
     }
@@ -97,44 +154,219 @@ impl Vma {
         }
     }
 
-    /// Page index of `addr` within this VMA.
+    /// Start of the (absolute-aligned) chunk grid.
     #[inline]
-    fn idx(&self, addr: u64) -> usize {
+    fn grid_base(&self) -> u64 {
+        huge_align_down(self.range.start)
+    }
+
+    /// Chunk-slot index of `addr`.
+    #[inline]
+    fn slot(&self, addr: u64) -> usize {
         debug_assert!(self.range.contains(addr));
-        ((addr - self.range.start) >> PAGE_SHIFT) as usize
+        ((addr - self.grid_base()) / HUGE_PAGE_SIZE) as usize
     }
 
-    /// Shared access to the PTE covering `addr`.
+    /// Page index of `addr` within its chunk.
     #[inline]
-    pub fn pte(&self, addr: u64) -> &Pte {
-        &self.ptes[self.idx(addr)]
+    fn page_in_chunk(addr: u64) -> usize {
+        ((addr & (HUGE_PAGE_SIZE - 1)) >> PAGE_SHIFT) as usize
     }
 
-    /// Mutable access to the PTE covering `addr`.
+    /// The PTE covering `addr`, by value (missing chunks read as empty).
     #[inline]
-    pub fn pte_mut(&mut self, addr: u64) -> &mut Pte {
-        let i = self.idx(addr);
-        &mut self.ptes[i]
+    pub fn pte(&self, addr: u64) -> Pte {
+        match &self.chunks[self.slot(addr)] {
+            Some(c) => c.ptes[Self::page_in_chunk(addr)],
+            None => Pte::EMPTY,
+        }
+    }
+
+    /// Read-modify-write the PTE covering `addr` through `f`, keeping the
+    /// chunk and VMA residency counters exact. The chunk is materialised
+    /// only if `f` actually changes the entry, so probing an untouched
+    /// page (e.g. a monitor access check) stays allocation-free.
+    pub fn with_pte<R>(&mut self, addr: u64, f: impl FnOnce(&mut Pte) -> R) -> R {
+        let slot = self.slot(addr);
+        let pi = Self::page_in_chunk(addr);
+        if let Some(c) = &mut self.chunks[slot] {
+            let before = c.ptes[pi].state;
+            let r = f(&mut c.ptes[pi]);
+            let after = c.ptes[pi].state;
+            self.account(slot, pi, before, after);
+            r
+        } else {
+            let mut pte = Pte::EMPTY;
+            let r = f(&mut pte);
+            if pte != Pte::EMPTY {
+                let c = self.chunks[slot].insert(PteChunk::new());
+                c.ptes[pi] = pte;
+                self.account(slot, pi, PteState::None, pte.state);
+            }
+            r
+        }
+    }
+
+    /// Fast path for the workload touch loop: if `addr` is resident, set
+    /// its accessed bit and return the backing frame; otherwise `None`
+    /// (without materialising anything — a fault will).
+    #[inline]
+    pub fn touch_resident(&mut self, addr: u64) -> Option<FrameId> {
+        let slot = self.slot(addr);
+        let c = self.chunks[slot].as_deref_mut()?;
+        let pte = &mut c.ptes[Self::page_in_chunk(addr)];
+        match pte.state {
+            PteState::Resident(f) => {
+                pte.accessed = true;
+                Some(f)
+            }
+            _ => None,
+        }
+    }
+
+    /// Counter fixup for one PTE state transition.
+    fn account(&mut self, slot: usize, pi: usize, before: PteState, after: PteState) {
+        let res = |s: &PteState| matches!(s, PteState::Resident(_)) as i64;
+        let swp = |s: &PteState| matches!(s, PteState::Swapped(_)) as i64;
+        let dr = res(&after) - res(&before);
+        let ds = swp(&after) - swp(&before);
+        if dr == 0 && ds == 0 {
+            return;
+        }
+        // lint: allow(panic, only reachable after with_pte materialised the chunk — a miss is substrate corruption)
+        let c = self.chunks[slot].as_deref_mut().expect("accounted chunk must exist");
+        c.nr_resident = (c.nr_resident as i64 + dr) as u32;
+        c.nr_swapped = (c.nr_swapped as i64 + ds) as u32;
+        let b = &mut c.block_resident[pi / PT_BLOCK_PAGES];
+        *b = (*b as i64 + dr) as u8;
+        self.total_resident = (self.total_resident as i64 + dr) as u64;
+        self.total_swapped = (self.total_swapped as i64 + ds) as u64;
     }
 
     /// Number of 4 KiB pages in the VMA.
     #[inline]
     pub fn nr_pages(&self) -> usize {
-        self.ptes.len()
+        self.range.nr_pages() as usize
     }
 
-    /// Iterate `(page_addr, &pte)` over the whole VMA.
-    pub fn iter_ptes(&self) -> impl Iterator<Item = (u64, &Pte)> {
-        let start = self.range.start;
-        self.ptes
+    /// Iterate `(page_addr, pte)` over every *mapped* (resident or
+    /// swapped) page, skipping unmaterialised chunks entirely.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        let base = self.grid_base();
+        self.chunks
             .iter()
             .enumerate()
-            .map(move |(i, p)| (start + (i as u64) * PAGE_SIZE, p))
+            .filter_map(|(i, c)| c.as_deref().map(|c| (i, c)))
+            .filter(|(_, c)| c.nr_resident + c.nr_swapped > 0)
+            .flat_map(move |(i, c)| {
+                let chunk_base = base + i as u64 * HUGE_PAGE_SIZE;
+                c.ptes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.state != PteState::None)
+                    .map(move |(pi, p)| (chunk_base + pi as u64 * PAGE_SIZE, *p))
+            })
     }
 
-    /// Number of resident pages (RSS contribution).
+    /// Number of resident pages (RSS contribution). O(1).
+    #[inline]
     pub fn nr_resident(&self) -> usize {
-        self.ptes.iter().filter(|p| p.is_resident()).count()
+        self.total_resident as usize
+    }
+
+    /// Number of swapped pages. O(1).
+    #[inline]
+    pub fn nr_swapped(&self) -> usize {
+        self.total_swapped as usize
+    }
+
+    /// Chunk-slot span `[lo, hi)` covering pages `[page_lo, page_hi)`.
+    fn slot_span(&self, page_lo: u64, page_hi: u64) -> (usize, usize) {
+        let base = self.grid_base();
+        let lo = ((page_lo - base) / HUGE_PAGE_SIZE) as usize;
+        let hi = ((page_hi - base).div_ceil(HUGE_PAGE_SIZE) as usize).min(self.chunks.len());
+        (lo, hi)
+    }
+
+    /// Push the addresses of all resident pages in `range ∩ vma` onto
+    /// `out`, in address order. Chunks and 8-page blocks with no
+    /// residents are skipped without reading a PTE.
+    pub fn collect_resident_in(&self, range: &AddrRange, out: &mut Vec<u64>) {
+        if self.total_resident == 0 {
+            return;
+        }
+        let Some(isect) = self.range.intersect(range) else { return };
+        let aligned = isect.page_aligned();
+        let (s_lo, s_hi) = self.slot_span(aligned.start, aligned.end);
+        let base = self.grid_base();
+        for slot in s_lo..s_hi {
+            let Some(c) = self.chunks[slot].as_deref() else { continue };
+            if c.nr_resident == 0 {
+                continue;
+            }
+            let chunk_base = base + slot as u64 * HUGE_PAGE_SIZE;
+            let p_lo = (aligned.start.max(chunk_base) - chunk_base) as usize >> PAGE_SHIFT;
+            let p_hi =
+                ((aligned.end.min(chunk_base + HUGE_PAGE_SIZE) - chunk_base) as usize) >> PAGE_SHIFT;
+            for b in (p_lo / PT_BLOCK_PAGES)..p_hi.div_ceil(PT_BLOCK_PAGES) {
+                if c.block_resident[b] == 0 {
+                    continue;
+                }
+                let s = (b * PT_BLOCK_PAGES).max(p_lo);
+                let e = ((b + 1) * PT_BLOCK_PAGES).min(p_hi);
+                for pi in s..e {
+                    if c.ptes[pi].is_resident() {
+                        out.push(chunk_base + (pi as u64) * PAGE_SIZE);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Push the addresses of all swapped pages in `range ∩ vma` onto
+    /// `out`, in address order, skipping swap-free chunks.
+    pub fn collect_swapped_in(&self, range: &AddrRange, out: &mut Vec<u64>) {
+        if self.total_swapped == 0 {
+            return;
+        }
+        let Some(isect) = self.range.intersect(range) else { return };
+        let aligned = isect.page_aligned();
+        let (s_lo, s_hi) = self.slot_span(aligned.start, aligned.end);
+        let base = self.grid_base();
+        for slot in s_lo..s_hi {
+            let Some(c) = self.chunks[slot].as_deref() else { continue };
+            if c.nr_swapped == 0 {
+                continue;
+            }
+            let chunk_base = base + slot as u64 * HUGE_PAGE_SIZE;
+            let p_lo = (aligned.start.max(chunk_base) - chunk_base) as usize >> PAGE_SHIFT;
+            let p_hi =
+                ((aligned.end.min(chunk_base + HUGE_PAGE_SIZE) - chunk_base) as usize) >> PAGE_SHIFT;
+            for pi in p_lo..p_hi {
+                if matches!(c.ptes[pi].state, PteState::Swapped(_)) {
+                    out.push(chunk_base + (pi as u64) * PAGE_SIZE);
+                }
+            }
+        }
+    }
+
+    /// Resident pages in the aligned 2 MiB chunk at `chunk_addr`. O(1) —
+    /// the page-table chunk grid coincides with the THP chunk grid.
+    pub fn chunk_nr_resident(&self, chunk_addr: u64) -> u64 {
+        debug_assert_eq!(chunk_addr % HUGE_PAGE_SIZE, 0);
+        match self.chunks.get(self.slot(chunk_addr)).and_then(|c| c.as_deref()) {
+            Some(c) => c.nr_resident as u64,
+            None => 0,
+        }
+    }
+
+    /// Swapped pages in the aligned 2 MiB chunk at `chunk_addr`. O(1).
+    pub fn chunk_nr_swapped(&self, chunk_addr: u64) -> u64 {
+        debug_assert_eq!(chunk_addr % HUGE_PAGE_SIZE, 0);
+        match self.chunks.get(self.slot(chunk_addr)).and_then(|c| c.as_deref()) {
+            Some(c) => c.nr_swapped as u64,
+            None => 0,
+        }
     }
 
     // ---- huge-page chunk bookkeeping -------------------------------
@@ -188,6 +420,34 @@ impl Vma {
     pub fn huge_bytes(&self) -> u64 {
         self.huge.iter().filter(|h| **h).count() as u64 * HUGE_PAGE_SIZE
     }
+
+    /// Debug invariant: the running counters match a full rescan.
+    #[cfg(test)]
+    fn check_counters(&self) {
+        let mut resident = 0u64;
+        let mut swapped = 0u64;
+        for c in self.chunks.iter().flatten() {
+            let r = c.ptes.iter().filter(|p| p.is_resident()).count() as u64;
+            let s = c
+                .ptes
+                .iter()
+                .filter(|p| matches!(p.state, PteState::Swapped(_)))
+                .count() as u64;
+            assert_eq!(c.nr_resident as u64, r);
+            assert_eq!(c.nr_swapped as u64, s);
+            for (b, cnt) in c.block_resident.iter().enumerate() {
+                let in_block = c.ptes[b * PT_BLOCK_PAGES..(b + 1) * PT_BLOCK_PAGES]
+                    .iter()
+                    .filter(|p| p.is_resident())
+                    .count();
+                assert_eq!(*cnt as usize, in_block);
+            }
+            resident += r;
+            swapped += s;
+        }
+        assert_eq!(self.total_resident, resident);
+        assert_eq!(self.total_swapped, swapped);
+    }
 }
 
 #[cfg(test)]
@@ -202,10 +462,102 @@ mod tests {
     fn vma_pte_indexing() {
         let mut vma = Vma::new(AddrRange::new(mb(4), mb(8)), ThpMode::Never);
         assert_eq!(vma.nr_pages(), (mb(4) / PAGE_SIZE) as usize);
-        vma.pte_mut(mb(4)).accessed = true;
+        vma.with_pte(mb(4), |p| p.accessed = true);
         assert!(vma.pte(mb(4)).accessed);
         assert!(!vma.pte(mb(4) + PAGE_SIZE).accessed);
         assert_eq!(vma.nr_resident(), 0);
+    }
+
+    #[test]
+    fn fresh_vma_materialises_no_chunks() {
+        let vma = Vma::new(AddrRange::new(0, mb(512)), ThpMode::Never);
+        assert!(vma.chunks.iter().all(|c| c.is_none()), "page table starts empty");
+        // Reading any PTE stays allocation-free.
+        assert_eq!(vma.pte(mb(100)).state, PteState::None);
+    }
+
+    #[test]
+    fn probe_without_change_stays_sparse() {
+        let mut vma = Vma::new(AddrRange::new(0, mb(8)), ThpMode::Never);
+        // A monitor-style check of an untouched page must not materialise.
+        let was = vma.with_pte(mb(3), |p| {
+            let was = p.accessed;
+            p.accessed = false;
+            was
+        });
+        assert!(!was);
+        assert!(vma.chunks.iter().all(|c| c.is_none()));
+    }
+
+    #[test]
+    fn counters_track_state_transitions() {
+        let mut vma = Vma::new(AddrRange::new(mb(1), mb(5)), ThpMode::Never);
+        let a = mb(1);
+        let b = mb(3) + 17 * PAGE_SIZE;
+        vma.with_pte(a, |p| p.state = PteState::Resident(7));
+        vma.with_pte(b, |p| p.state = PteState::Resident(8));
+        assert_eq!(vma.nr_resident(), 2);
+        assert_eq!(vma.nr_swapped(), 0);
+        vma.with_pte(a, |p| p.state = PteState::Swapped(SwapSlot(0)));
+        assert_eq!(vma.nr_resident(), 1);
+        assert_eq!(vma.nr_swapped(), 1);
+        vma.with_pte(a, |p| p.state = PteState::None);
+        vma.with_pte(b, |p| p.state = PteState::None);
+        assert_eq!(vma.nr_resident(), 0);
+        assert_eq!(vma.nr_swapped(), 0);
+        vma.check_counters();
+    }
+
+    #[test]
+    fn touch_resident_fast_path() {
+        let mut vma = Vma::new(AddrRange::new(0, mb(4)), ThpMode::Never);
+        assert_eq!(vma.touch_resident(mb(1)), None, "hole: fault path");
+        assert!(vma.chunks.iter().all(|c| c.is_none()), "miss must not materialise");
+        vma.with_pte(mb(1), |p| p.state = PteState::Resident(3));
+        assert_eq!(vma.touch_resident(mb(1)), Some(3));
+        assert!(vma.pte(mb(1)).accessed, "touch sets the accessed bit");
+        vma.check_counters();
+    }
+
+    #[test]
+    fn collect_resident_skips_empty_spans() {
+        // 8 MiB VMA; make exactly two pages resident, far apart.
+        let mut vma = Vma::new(AddrRange::new(0, mb(8)), ThpMode::Never);
+        for (i, addr) in [(1u32, mb(1)), (2u32, mb(7) + 3 * PAGE_SIZE)] {
+            vma.with_pte(addr, |p| p.state = PteState::Resident(i));
+        }
+        let mut out = Vec::new();
+        vma.collect_resident_in(&AddrRange::new(0, mb(8)), &mut out);
+        assert_eq!(out, vec![mb(1), mb(7) + 3 * PAGE_SIZE]);
+        out.clear();
+        vma.collect_resident_in(&AddrRange::new(mb(2), mb(6)), &mut out);
+        assert!(out.is_empty());
+        vma.check_counters();
+    }
+
+    #[test]
+    fn collect_swapped_finds_swap_entries() {
+        let mut vma = Vma::new(AddrRange::new(mb(2), mb(6)), ThpMode::Never);
+        vma.with_pte(mb(3), |p| p.state = PteState::Swapped(SwapSlot(9)));
+        let mut out = Vec::new();
+        vma.collect_swapped_in(&AddrRange::new(0, u64::MAX), &mut out);
+        assert_eq!(out, vec![mb(3)]);
+        out.clear();
+        vma.collect_swapped_in(&AddrRange::new(mb(4), mb(6)), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_counters_align_with_thp_chunks() {
+        // Unaligned VMA: [1 MiB, 6 MiB); THP chunks are [2,4) and [4,6).
+        let mut vma = Vma::new(AddrRange::new(mb(1), mb(6)), ThpMode::Always);
+        vma.with_pte(mb(2) + 5 * PAGE_SIZE, |p| p.state = PteState::Resident(1));
+        vma.with_pte(mb(3), |p| p.state = PteState::Resident(2));
+        vma.with_pte(mb(4), |p| p.state = PteState::Swapped(SwapSlot(1)));
+        assert_eq!(vma.chunk_nr_resident(mb(2)), 2);
+        assert_eq!(vma.chunk_nr_swapped(mb(2)), 0);
+        assert_eq!(vma.chunk_nr_resident(mb(4)), 0);
+        assert_eq!(vma.chunk_nr_swapped(mb(4)), 1);
     }
 
     #[test]
@@ -261,10 +613,20 @@ mod tests {
     }
 
     #[test]
-    fn iter_ptes_addresses() {
-        let vma = Vma::new(AddrRange::new(mb(4), mb(4) + 3 * PAGE_SIZE), ThpMode::Never);
-        let addrs: Vec<u64> = vma.iter_ptes().map(|(a, _)| a).collect();
-        assert_eq!(addrs, vec![mb(4), mb(4) + PAGE_SIZE, mb(4) + 2 * PAGE_SIZE]);
+    fn iter_mapped_skips_holes() {
+        let mut vma = Vma::new(AddrRange::new(mb(4), mb(4) + 3 * PAGE_SIZE), ThpMode::Never);
+        assert_eq!(vma.iter_mapped().count(), 0, "fresh VMA maps nothing");
+        vma.with_pte(mb(4) + PAGE_SIZE, |p| p.state = PteState::Resident(1));
+        vma.with_pte(mb(4) + 2 * PAGE_SIZE, |p| p.state = PteState::Swapped(SwapSlot(2)));
+        let entries: Vec<(u64, PteState)> =
+            vma.iter_mapped().map(|(a, p)| (a, p.state)).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (mb(4) + PAGE_SIZE, PteState::Resident(1)),
+                (mb(4) + 2 * PAGE_SIZE, PteState::Swapped(SwapSlot(2))),
+            ]
+        );
     }
 }
 

@@ -1,6 +1,6 @@
 //! The monitoring context: the kdamond main loop, driven by virtual time.
 
-use daos_mm::addr::{page_align_down, PAGE_SIZE};
+use daos_mm::addr::PAGE_SIZE;
 use daos_mm::clock::Ns;
 use daos_util::rng::SmallRng;
 
@@ -104,13 +104,9 @@ impl<P: Primitives> MonitorCtx<P> {
         let mut checks: u64 = 0;
 
         // Phase 1: evaluate the samples prepared one interval ago.
-        for r in self.regions.regions_mut() {
-            if let Some(addr) = r.sampling_addr.take() {
-                if self.prim.young(env, addr) {
-                    r.nr_accesses += 1;
-                }
-                checks += 1;
-            }
+        {
+            let Self { regions, prim, .. } = self;
+            checks += regions.check_samples(|addr| prim.young(env, addr));
         }
 
         // Aggregation boundary: merge+age, report, reset, split. The two
@@ -206,17 +202,7 @@ impl<P: Primitives> MonitorCtx<P> {
         // Phase 2: prepare the next samples — one random page per region.
         {
             let Self { regions, prim, rng, .. } = self;
-            for r in regions.regions_mut() {
-                let pages = r.range.nr_pages();
-                if pages == 0 {
-                    continue;
-                }
-                let page = rng.random_range(0..pages);
-                let addr = page_align_down(r.range.start) + page * PAGE_SIZE;
-                prim.mkold(env, addr);
-                r.sampling_addr = Some(addr);
-                checks += 1;
-            }
+            checks += regions.prepare_samples(rng, |addr| prim.mkold(env, addr));
         }
 
         // Overhead accounting: this is where the paper's bound lives —
@@ -397,13 +383,13 @@ mod tests {
         let mut env = SyntheticSpace::new(vec![AddrRange::new(0, mb(64))]);
         let attrs = MonitorAttrs { adaptive: false, min_nr_regions: 32, max_nr_regions: 32, ..small_attrs() };
         let mut ctx = MonitorCtx::new(attrs, SyntheticPrimitives, &env, 0, 5);
-        let grid: Vec<_> = ctx.regions().regions().iter().map(|r| r.range).collect();
+        let grid: Vec<_> = ctx.regions().iter().map(|r| r.range).collect();
         let mut sink = Vec::new();
         for i in 1..=200u64 {
             env.touch_range(AddrRange::new(0, mb(2)));
             ctx.step(&mut env, i * ms(5), &mut sink);
         }
-        let after: Vec<_> = ctx.regions().regions().iter().map(|r| r.range).collect();
+        let after: Vec<_> = ctx.regions().iter().map(|r| r.range).collect();
         assert_eq!(grid, after, "no splits or merges in static mode");
         // Aging still works.
         let agg = sink.last().unwrap();

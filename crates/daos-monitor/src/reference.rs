@@ -1,0 +1,229 @@
+//! Reference region-set implementation: the original `Vec<Region>` code,
+//! kept verbatim as the cross-validation oracle for the struct-of-arrays
+//! store in [`crate::regions`] (the Virtuoso method: a faster substrate
+//! is only trustworthy if differentially tested against the slower
+//! reference it replaced). Not used on the hot path.
+
+use daos_mm::addr::{page_align_down, AddrRange, PAGE_SIZE};
+use daos_util::rng::SmallRng;
+
+use crate::region::{Region, RegionInfo};
+
+/// An ordered, non-overlapping set of monitoring regions (reference
+/// array-of-structs implementation).
+#[derive(Debug, Clone, Default)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+}
+
+impl RegionSet {
+    /// Build the initial regions: `min_nr` regions distributed over the
+    /// target ranges proportionally to their size (each range gets at
+    /// least one), each range divided evenly at page granularity.
+    pub fn init(ranges: &[AddrRange], min_nr: usize) -> Self {
+        let ranges: Vec<AddrRange> = ranges.iter().filter(|r| !r.is_empty()).copied().collect();
+        let mut set = Self { regions: Vec::new() };
+        if ranges.is_empty() {
+            return set;
+        }
+        let total: u64 = ranges.iter().map(|r| r.len()).sum();
+        for r in &ranges {
+            let share =
+                ((min_nr as u64 * r.len()) / total.max(1)).max(1).min(r.nr_pages()) as usize;
+            set.append_evenly(*r, share);
+        }
+        set
+    }
+
+    fn append_evenly(&mut self, range: AddrRange, pieces: usize) {
+        let pages = range.nr_pages();
+        let pieces = (pieces as u64).min(pages).max(1);
+        let base = pages / pieces;
+        let extra = pages % pieces;
+        let mut start = range.start;
+        for i in 0..pieces {
+            let nr = base + if i < extra { 1 } else { 0 };
+            let end = if i == pieces - 1 { range.end } else { start + nr * PAGE_SIZE };
+            self.regions.push(Region::new(AddrRange::new(start, end)));
+            start = end;
+        }
+    }
+
+    /// Shared view of the regions, sorted by address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Mutable view (tests adjust counters in place).
+    pub fn regions_mut(&mut self) -> &mut [Region] {
+        &mut self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total monitored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.sz()).sum()
+    }
+
+    /// Immutable snapshot for callbacks/schemes.
+    pub fn snapshot(&self) -> Vec<RegionInfo> {
+        self.regions.iter().map(RegionInfo::from).collect()
+    }
+
+    /// End-of-window counter reset: remember this window's counts for the
+    /// aging comparison, zero the live counters.
+    pub fn reset_aggregated(&mut self) {
+        for r in &mut self.regions {
+            r.last_nr_accesses = r.nr_accesses;
+            r.nr_accesses = 0;
+        }
+    }
+
+    /// The aging + merge pass, run once per aggregation interval.
+    pub fn merge_with_aging(&mut self, threshold: u32, sz_limit: u64, min_nr: usize) {
+        for r in &mut self.regions {
+            if r.nr_accesses.abs_diff(r.last_nr_accesses) > threshold {
+                r.age = 0;
+            } else {
+                r.age += 1;
+            }
+        }
+        if self.regions.len() <= min_nr {
+            return;
+        }
+        let mut merged: Vec<Region> = Vec::with_capacity(self.regions.len());
+        let mut count = self.regions.len();
+        for r in self.regions.drain(..) {
+            match merged.last_mut() {
+                Some(prev)
+                    if count > min_nr
+                        && prev.range.end == r.range.start
+                        && prev.nr_accesses.abs_diff(r.nr_accesses) <= threshold
+                        && prev.sz() + r.sz() <= sz_limit =>
+                {
+                    prev.merge_right(&r);
+                    count -= 1;
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.regions = merged;
+    }
+
+    /// The random splitting pass, run once per aggregation interval.
+    /// Consumes the rng in exactly the same order as the SoA store's
+    /// `split` — one `random_range(1..pages)` per attempted cut, gated by
+    /// the same pre-checks — so both can be driven from one seed.
+    pub fn split(&mut self, rng: &mut SmallRng, max_nr: usize) {
+        let nr = self.regions.len();
+        if nr == 0 || nr >= max_nr {
+            return;
+        }
+        // Kernel heuristic: aim for 3 pieces while clearly below the cap.
+        let nr_pieces = if nr * 3 <= max_nr { 3 } else { 2 };
+        let mut out: Vec<Region> = Vec::with_capacity(nr * nr_pieces);
+        let mut total = nr;
+        for r in self.regions.drain(..) {
+            let mut rest = r;
+            for _ in 1..nr_pieces {
+                if total >= max_nr || !rest.splittable() {
+                    break;
+                }
+                // Random page-aligned split point strictly inside.
+                let pages = rest.nr_pages();
+                let cut_page = rng.random_range(1..pages);
+                let mid = page_align_down(rest.range.start) + cut_page * PAGE_SIZE;
+                if mid <= rest.range.start || mid >= rest.range.end {
+                    break;
+                }
+                let (lo, hi) = rest.split_at(mid);
+                out.push(lo);
+                rest = hi;
+                total += 1;
+            }
+            out.push(rest);
+        }
+        self.regions = out;
+    }
+
+    /// Adapt the region set to a changed set of target ranges (the
+    /// `regions update interval` handler): regions are clipped to the new
+    /// ranges, and uncovered parts of the new ranges get fresh regions.
+    pub fn update_ranges(&mut self, new_ranges: &[AddrRange]) {
+        let mut out: Vec<Region> = Vec::with_capacity(self.regions.len());
+        for range in new_ranges.iter().filter(|r| !r.is_empty()) {
+            let mut cursor = range.start;
+            for old in &self.regions {
+                let Some(isect) = old.range.intersect(range) else { continue };
+                if isect.start > cursor {
+                    out.push(Region::new(AddrRange::new(cursor, isect.start)));
+                }
+                let mut clipped = *old;
+                clipped.range = isect;
+                clipped.sampling_addr = None;
+                out.push(clipped);
+                cursor = isect.end.max(cursor);
+            }
+            if cursor < range.end {
+                out.push(Region::new(AddrRange::new(cursor, range.end)));
+            }
+        }
+        self.regions = out;
+    }
+
+    /// Phase-1 sampling: consume outstanding samples, counting accesses.
+    /// Mirrors [`crate::regions::RegionSet::check_samples`].
+    pub fn check_samples(&mut self, mut young: impl FnMut(u64) -> bool) -> u64 {
+        let mut checks = 0;
+        for r in &mut self.regions {
+            if let Some(addr) = r.sampling_addr.take() {
+                if young(addr) {
+                    r.nr_accesses += 1;
+                }
+                checks += 1;
+            }
+        }
+        checks
+    }
+
+    /// Phase-2 sampling: pick one random page per region, age it via
+    /// `mkold`, and remember it for the next check. Consumes the rng
+    /// identically to [`crate::regions::RegionSet::prepare_samples`].
+    pub fn prepare_samples(&mut self, rng: &mut SmallRng, mut mkold: impl FnMut(u64)) -> u64 {
+        let mut checks = 0;
+        for r in &mut self.regions {
+            let pages = r.range.nr_pages();
+            if pages == 0 {
+                continue;
+            }
+            let page = rng.random_range(0..pages);
+            let addr = page_align_down(r.range.start) + page * PAGE_SIZE;
+            mkold(addr);
+            r.sampling_addr = Some(addr);
+            checks += 1;
+        }
+        checks
+    }
+
+    /// Debug invariant: sorted, non-overlapping, non-empty regions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.regions.windows(2) {
+            if w[0].range.end > w[1].range.start {
+                return Err(format!("overlap/order violation: {} then {}", w[0].range, w[1].range));
+            }
+        }
+        if let Some(r) = self.regions.iter().find(|r| r.range.is_empty()) {
+            return Err(format!("empty region at {}", r.range));
+        }
+        Ok(())
+    }
+}

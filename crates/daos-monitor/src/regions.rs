@@ -1,16 +1,51 @@
 //! The region set and the paper's **adaptive regions adjustment**:
 //! random-point splitting, similarity merging (with the aging mechanism
 //! folded in, as in the kernel), and target-range updates.
+//!
+//! ## Struct-of-arrays layout
+//!
+//! Regions live in parallel flat arrays (`starts`/`ends`/`nr_accesses`/
+//! `last_nr_accesses`/`ages`/`sampling`) rather than a `Vec<Region>`.
+//! The monitor's per-tick loops touch one or two of those fields for
+//! every region; packing each field contiguously keeps the hot loops in
+//! cache and turns merge/split/update into index walks instead of
+//! 48-byte struct moves. Total coverage is maintained incrementally so
+//! `total_bytes` is O(1) — the adaptive `sz_limit` computation at every
+//! aggregation boundary no longer rescans the set.
+//!
+//! Semantics are pinned to the reference array-of-structs implementation
+//! in [`crate::reference`] by differential tests; `split` and
+//! `prepare_samples` consume the rng in exactly the same order as the
+//! reference so both produce identical sequences from one seed.
 
 use daos_mm::addr::{page_align_down, AddrRange, PAGE_SIZE};
 use daos_util::rng::SmallRng;
 
 use crate::region::{Region, RegionInfo};
 
-/// An ordered, non-overlapping set of monitoring regions.
+/// Sentinel in the `sampling` column for "no sample outstanding".
+const NO_SAMPLE: u64 = u64::MAX;
+
+/// Size-weighted average of two per-region counters (`wavg` of §3.1's
+/// merge rule: weights are the byte sizes of the two regions).
+#[inline]
+fn wavg(x: u32, y: u32, sa: u64, sb: u64) -> u32 {
+    ((x as u64 * sa + y as u64 * sb) / (sa + sb).max(1)) as u32
+}
+
+/// An ordered, non-overlapping set of monitoring regions, stored as
+/// struct-of-arrays.
 #[derive(Debug, Clone, Default)]
 pub struct RegionSet {
-    regions: Vec<Region>,
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    nr_accesses: Vec<u32>,
+    last_nr_accesses: Vec<u32>,
+    ages: Vec<u32>,
+    /// Outstanding sample address per region; [`NO_SAMPLE`] when none.
+    sampling: Vec<u64>,
+    /// Incrementally maintained sum of region sizes.
+    total_bytes: u64,
 }
 
 impl RegionSet {
@@ -19,7 +54,7 @@ impl RegionSet {
     /// least one), each range divided evenly at page granularity.
     pub fn init(ranges: &[AddrRange], min_nr: usize) -> Self {
         let ranges: Vec<AddrRange> = ranges.iter().filter(|r| !r.is_empty()).copied().collect();
-        let mut set = Self { regions: Vec::new() };
+        let mut set = Self::default();
         if ranges.is_empty() {
             return set;
         }
@@ -32,6 +67,17 @@ impl RegionSet {
         set
     }
 
+    /// Append one fresh (zero-counter) region covering `[start, end)`.
+    fn push_fresh(&mut self, start: u64, end: u64) {
+        self.starts.push(start);
+        self.ends.push(end);
+        self.nr_accesses.push(0);
+        self.last_nr_accesses.push(0);
+        self.ages.push(0);
+        self.sampling.push(NO_SAMPLE);
+        self.total_bytes += end - start;
+    }
+
     fn append_evenly(&mut self, range: AddrRange, pieces: usize) {
         let pages = range.nr_pages();
         let pieces = (pieces as u64).min(pages).max(1);
@@ -41,48 +87,69 @@ impl RegionSet {
         for i in 0..pieces {
             let nr = base + if i < extra { 1 } else { 0 };
             let end = if i == pieces - 1 { range.end } else { start + nr * PAGE_SIZE };
-            self.regions.push(Region::new(AddrRange::new(start, end)));
+            self.push_fresh(start, end);
             start = end;
         }
     }
 
-    /// Shared view of the regions, sorted by address.
-    pub fn regions(&self) -> &[Region] {
-        &self.regions
-    }
-
-    /// Mutable view (the sampling loop updates counters in place).
-    pub fn regions_mut(&mut self) -> &mut [Region] {
-        &mut self.regions
-    }
-
     /// Number of regions.
     pub fn len(&self) -> usize {
-        self.regions.len()
+        self.starts.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.starts.is_empty()
     }
 
-    /// Total monitored bytes.
+    /// Total monitored bytes. O(1) — maintained incrementally.
     pub fn total_bytes(&self) -> u64 {
-        self.regions.iter().map(|r| r.sz()).sum()
+        self.total_bytes
+    }
+
+    /// Materialise region `i` (testing / diagnostics).
+    pub fn get(&self, i: usize) -> Region {
+        Region {
+            range: AddrRange::new(self.starts[i], self.ends[i]),
+            nr_accesses: self.nr_accesses[i],
+            last_nr_accesses: self.last_nr_accesses[i],
+            age: self.ages[i],
+            sampling_addr: (self.sampling[i] != NO_SAMPLE).then_some(self.sampling[i]),
+        }
+    }
+
+    /// Iterate materialised copies of the regions, in address order.
+    pub fn iter(&self) -> impl Iterator<Item = Region> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Overwrite region `i`'s live access counter (tests / tools).
+    pub fn set_nr_accesses(&mut self, i: usize, v: u32) {
+        self.nr_accesses[i] = v;
+    }
+
+    /// Overwrite region `i`'s previous-window counter (tests / tools).
+    pub fn set_last_nr_accesses(&mut self, i: usize, v: u32) {
+        self.last_nr_accesses[i] = v;
     }
 
     /// Immutable snapshot for callbacks/schemes.
     pub fn snapshot(&self) -> Vec<RegionInfo> {
-        self.regions.iter().map(RegionInfo::from).collect()
+        (0..self.len())
+            .map(|i| RegionInfo {
+                range: AddrRange::new(self.starts[i], self.ends[i]),
+                nr_accesses: self.nr_accesses[i],
+                age: self.ages[i],
+            })
+            .collect()
     }
 
     /// End-of-window counter reset: remember this window's counts for the
-    /// aging comparison, zero the live counters.
+    /// aging comparison, zero the live counters. One swap + one fill, no
+    /// per-region struct writes.
     pub fn reset_aggregated(&mut self) {
-        for r in &mut self.regions {
-            r.last_nr_accesses = r.nr_accesses;
-            r.nr_accesses = 0;
-        }
+        std::mem::swap(&mut self.last_nr_accesses, &mut self.nr_accesses);
+        self.nr_accesses.fill(0);
     }
 
     /// The aging + merge pass, run once per aggregation interval.
@@ -94,35 +161,62 @@ impl RegionSet {
     /// Merging: adjacent regions whose access counts differ by at most
     /// `threshold` are combined, unless the result would exceed
     /// `sz_limit` bytes or shrink the set below `min_nr` regions (the
-    /// paper's explicit lower bound).
+    /// paper's explicit lower bound). Runs as one in-place compaction
+    /// walk over the arrays.
     pub fn merge_with_aging(&mut self, threshold: u32, sz_limit: u64, min_nr: usize) {
-        for r in &mut self.regions {
-            if r.nr_accesses.abs_diff(r.last_nr_accesses) > threshold {
-                r.age = 0;
+        for i in 0..self.len() {
+            if self.nr_accesses[i].abs_diff(self.last_nr_accesses[i]) > threshold {
+                self.ages[i] = 0;
             } else {
-                r.age += 1;
+                self.ages[i] += 1;
             }
         }
-        if self.regions.len() <= min_nr {
+        let n = self.len();
+        if n <= min_nr {
             return;
         }
-        let mut merged: Vec<Region> = Vec::with_capacity(self.regions.len());
-        let mut count = self.regions.len();
-        for r in self.regions.drain(..) {
-            match merged.last_mut() {
-                Some(prev)
-                    if count > min_nr
-                        && prev.range.end == r.range.start
-                        && prev.nr_accesses.abs_diff(r.nr_accesses) <= threshold
-                        && prev.sz() + r.sz() <= sz_limit =>
-                {
-                    prev.merge_right(&r);
-                    count -= 1;
+        let mut count = n;
+        let mut w = 0usize; // regions[..w] is the compacted output
+        for r in 0..n {
+            if w > 0
+                && count > min_nr
+                && self.ends[w - 1] == self.starts[r]
+                && self.nr_accesses[w - 1].abs_diff(self.nr_accesses[r]) <= threshold
+                && (self.ends[w - 1] - self.starts[w - 1]) + (self.ends[r] - self.starts[r])
+                    <= sz_limit
+            {
+                let sa = self.ends[w - 1] - self.starts[w - 1];
+                let sb = self.ends[r] - self.starts[r];
+                self.nr_accesses[w - 1] =
+                    wavg(self.nr_accesses[w - 1], self.nr_accesses[r], sa, sb);
+                self.last_nr_accesses[w - 1] =
+                    wavg(self.last_nr_accesses[w - 1], self.last_nr_accesses[r], sa, sb);
+                self.ages[w - 1] = wavg(self.ages[w - 1], self.ages[r], sa, sb);
+                self.ends[w - 1] = self.ends[r];
+                self.sampling[w - 1] = NO_SAMPLE;
+                count -= 1;
+            } else {
+                if w != r {
+                    self.starts[w] = self.starts[r];
+                    self.ends[w] = self.ends[r];
+                    self.nr_accesses[w] = self.nr_accesses[r];
+                    self.last_nr_accesses[w] = self.last_nr_accesses[r];
+                    self.ages[w] = self.ages[r];
+                    self.sampling[w] = self.sampling[r];
                 }
-                _ => merged.push(r),
+                w += 1;
             }
         }
-        self.regions = merged;
+        self.truncate(w);
+    }
+
+    fn truncate(&mut self, n: usize) {
+        self.starts.truncate(n);
+        self.ends.truncate(n);
+        self.nr_accesses.truncate(n);
+        self.last_nr_accesses.truncate(n);
+        self.ages.truncate(n);
+        self.sampling.truncate(n);
     }
 
     /// The random splitting pass, run once per aggregation interval.
@@ -130,73 +224,187 @@ impl RegionSet {
     /// Each region is split into 2 (or 3, when far below the cap) pieces
     /// at random page-aligned points, so that sub-regions with distinct
     /// access frequencies can be discovered next window. Splitting stops
-    /// at `max_nr` regions — the paper's overhead upper bound.
+    /// at `max_nr` regions — the paper's overhead upper bound. The rng is
+    /// consumed in exactly the reference implementation's order.
     pub fn split(&mut self, rng: &mut SmallRng, max_nr: usize) {
-        let nr = self.regions.len();
+        let nr = self.len();
         if nr == 0 || nr >= max_nr {
             return;
         }
         // Kernel heuristic: aim for 3 pieces while clearly below the cap.
         let nr_pieces = if nr * 3 <= max_nr { 3 } else { 2 };
-        let mut out: Vec<Region> = Vec::with_capacity(nr * nr_pieces);
+        let mut out = Self::default();
+        out.reserve(nr * nr_pieces);
         let mut total = nr;
-        for r in self.regions.drain(..) {
-            let mut rest = r;
+        for i in 0..nr {
+            let mut rest_start = self.starts[i];
+            let rest_end = self.ends[i];
+            let (na, la, age) = (self.nr_accesses[i], self.last_nr_accesses[i], self.ages[i]);
+            let mut was_split = false;
             for _ in 1..nr_pieces {
-                if total >= max_nr || !rest.splittable() {
+                // splittable(): at least two pages to cut between.
+                if total >= max_nr || rest_end - rest_start < 2 * PAGE_SIZE {
                     break;
                 }
                 // Random page-aligned split point strictly inside.
-                let pages = rest.nr_pages();
+                let pages = (rest_end - rest_start).div_ceil(PAGE_SIZE);
                 let cut_page = rng.random_range(1..pages);
-                let mid = page_align_down(rest.range.start) + cut_page * PAGE_SIZE;
-                if mid <= rest.range.start || mid >= rest.range.end {
+                let mid = page_align_down(rest_start) + cut_page * PAGE_SIZE;
+                if mid <= rest_start || mid >= rest_end {
                     break;
                 }
-                let (lo, hi) = rest.split_at(mid);
-                out.push(lo);
-                rest = hi;
+                out.push_with(rest_start, mid, na, la, age, NO_SAMPLE);
+                rest_start = mid;
+                was_split = true;
                 total += 1;
             }
-            out.push(rest);
+            // An untouched region keeps its outstanding sample; split
+            // pieces have theirs invalidated (as Region::split_at does).
+            let sample = if was_split { NO_SAMPLE } else { self.sampling[i] };
+            out.push_with(rest_start, rest_end, na, la, age, sample);
         }
-        self.regions = out;
+        *self = out;
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.starts.reserve(n);
+        self.ends.reserve(n);
+        self.nr_accesses.reserve(n);
+        self.last_nr_accesses.reserve(n);
+        self.ages.reserve(n);
+        self.sampling.reserve(n);
+    }
+
+    fn push_with(&mut self, start: u64, end: u64, nr: u32, last: u32, age: u32, sample: u64) {
+        self.starts.push(start);
+        self.ends.push(end);
+        self.nr_accesses.push(nr);
+        self.last_nr_accesses.push(last);
+        self.ages.push(age);
+        self.sampling.push(sample);
+        self.total_bytes += end - start;
     }
 
     /// Adapt the region set to a changed set of target ranges (the
     /// `regions update interval` handler): regions are clipped to the new
     /// ranges, and uncovered parts of the new ranges get fresh regions.
+    ///
+    /// A single sorted sweep: one cursor over the (sorted) regions, one
+    /// pass over the ranges — O(regions + ranges), not O(ranges ×
+    /// regions). `new_ranges` must be ascending and disjoint, which is
+    /// what every primitives backend produces (sorted VMA lists, the
+    /// physical space, synthetic spaces).
     pub fn update_ranges(&mut self, new_ranges: &[AddrRange]) {
-        let mut out: Vec<Region> = Vec::with_capacity(self.regions.len());
+        debug_assert!(
+            new_ranges.windows(2).all(|w| w[0].end <= w[1].start || w[1].is_empty()),
+            "target ranges must be sorted and disjoint"
+        );
+        let n = self.len();
+        let mut out = Self::default();
+        out.reserve(n);
+        let mut ri = 0usize;
         for range in new_ranges.iter().filter(|r| !r.is_empty()) {
+            // Skip regions that end before this range begins.
+            while ri < n && self.ends[ri] <= range.start {
+                ri += 1;
+            }
             let mut cursor = range.start;
-            for old in &self.regions {
-                let Some(isect) = old.range.intersect(range) else { continue };
-                if isect.start > cursor {
-                    out.push(Region::new(AddrRange::new(cursor, isect.start)));
+            while ri < n && self.starts[ri] < range.end {
+                let isect_start = self.starts[ri].max(range.start);
+                let isect_end = self.ends[ri].min(range.end);
+                if isect_start < isect_end {
+                    if isect_start > cursor {
+                        out.push_fresh(cursor, isect_start);
+                    }
+                    // Clipped region keeps its counters; outstanding
+                    // samples are invalidated (may fall outside the clip).
+                    out.push_with(
+                        isect_start,
+                        isect_end,
+                        self.nr_accesses[ri],
+                        self.last_nr_accesses[ri],
+                        self.ages[ri],
+                        NO_SAMPLE,
+                    );
+                    cursor = isect_end.max(cursor);
                 }
-                let mut clipped = *old;
-                clipped.range = isect;
-                clipped.sampling_addr = None;
-                out.push(clipped);
-                cursor = isect.end.max(cursor);
+                if self.ends[ri] > range.end {
+                    // Straddler: it also overlaps the next range.
+                    break;
+                }
+                ri += 1;
             }
             if cursor < range.end {
-                out.push(Region::new(AddrRange::new(cursor, range.end)));
+                out.push_fresh(cursor, range.end);
             }
         }
-        self.regions = out;
+        *self = out;
     }
 
-    /// Debug invariant: sorted, non-overlapping, non-empty regions.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        for w in self.regions.windows(2) {
-            if w[0].range.end > w[1].range.start {
-                return Err(format!("overlap/order violation: {} then {}", w[0].range, w[1].range));
+    /// Phase-1 sampling: consume every outstanding sample, incrementing
+    /// the region's counter when `young` reports the page was accessed.
+    /// Returns the number of checks performed. Keeping the loop inside
+    /// the store lets it stream the `sampling` and `nr_accesses` columns.
+    pub fn check_samples(&mut self, mut young: impl FnMut(u64) -> bool) -> u64 {
+        let mut checks = 0;
+        for i in 0..self.len() {
+            let addr = self.sampling[i];
+            if addr != NO_SAMPLE {
+                self.sampling[i] = NO_SAMPLE;
+                if young(addr) {
+                    self.nr_accesses[i] += 1;
+                }
+                checks += 1;
             }
         }
-        if let Some(r) = self.regions.iter().find(|r| r.range.is_empty()) {
-            return Err(format!("empty region at {}", r.range));
+        checks
+    }
+
+    /// Phase-2 sampling: pick one random page per region, age it via
+    /// `mkold`, and remember it for the next check. Returns the number of
+    /// samples prepared. Consumes the rng in the reference
+    /// implementation's exact order (one draw per non-empty region).
+    pub fn prepare_samples(&mut self, rng: &mut SmallRng, mut mkold: impl FnMut(u64)) -> u64 {
+        let mut checks = 0;
+        for i in 0..self.len() {
+            let pages = (self.ends[i] - self.starts[i]).div_ceil(PAGE_SIZE);
+            if pages == 0 {
+                continue;
+            }
+            let page = rng.random_range(0..pages);
+            let addr = page_align_down(self.starts[i]) + page * PAGE_SIZE;
+            mkold(addr);
+            self.sampling[i] = addr;
+            checks += 1;
+        }
+        checks
+    }
+
+    /// Debug invariant: sorted, non-overlapping, non-empty regions, and a
+    /// consistent incremental byte total.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for i in 1..self.len() {
+            if self.ends[i - 1] > self.starts[i] {
+                return Err(format!(
+                    "overlap/order violation: [{:#x}, {:#x}) then [{:#x}, {:#x})",
+                    self.starts[i - 1],
+                    self.ends[i - 1],
+                    self.starts[i],
+                    self.ends[i]
+                ));
+            }
+        }
+        for i in 0..self.len() {
+            if self.starts[i] >= self.ends[i] {
+                return Err(format!("empty region at [{:#x}, {:#x})", self.starts[i], self.ends[i]));
+            }
+        }
+        let sum: u64 = (0..self.len()).map(|i| self.ends[i] - self.starts[i]).sum();
+        if sum != self.total_bytes {
+            return Err(format!(
+                "total_bytes drift: cached {} actual {sum}",
+                self.total_bytes
+            ));
         }
         Ok(())
     }
@@ -218,7 +426,7 @@ mod tests {
         assert_eq!(set.total_bytes(), mb(40));
         set.check_invariants().unwrap();
         // The 30 MiB range should get ~3x the regions of the 10 MiB one.
-        let in_big = set.regions().iter().filter(|r| r.range.end <= mb(30)).count();
+        let in_big = set.iter().filter(|r| r.range.end <= mb(30)).count();
         let in_small = set.len() - in_big;
         assert!(in_big > in_small);
     }
@@ -267,11 +475,11 @@ mod tests {
     fn merge_keeps_dissimilar_apart() {
         let mut set = RegionSet::init(&[AddrRange::new(0, mb(4))], 4);
         // Make region 1 hot.
-        set.regions_mut()[1].nr_accesses = 20;
+        set.set_nr_accesses(1, 20);
         set.merge_with_aging(2, u64::MAX, 1);
         // Hot region must not merge into cold neighbours.
         assert!(set.len() >= 2);
-        assert!(set.regions().iter().any(|r| r.nr_accesses >= 10));
+        assert!(set.iter().any(|r| r.nr_accesses >= 10));
     }
 
     #[test]
@@ -279,7 +487,7 @@ mod tests {
         let mut set = RegionSet::init(&[AddrRange::new(0, mb(8))], 8);
         let max_region = mb(2);
         set.merge_with_aging(2, max_region, 1);
-        for r in set.regions() {
+        for r in set.iter() {
             assert!(r.sz() <= max_region);
         }
     }
@@ -287,45 +495,45 @@ mod tests {
     #[test]
     fn aging_increments_when_stable_resets_on_change() {
         let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 3);
-        for r in set.regions_mut() {
-            r.nr_accesses = 5;
-            r.last_nr_accesses = 5;
+        for i in 0..set.len() {
+            set.set_nr_accesses(i, 5);
+            set.set_last_nr_accesses(i, 5);
         }
         set.merge_with_aging(2, PAGE_SIZE, 3); // sz_limit small: no merging
-        assert!(set.regions().iter().all(|r| r.age == 1));
+        assert!(set.iter().all(|r| r.age == 1));
         set.reset_aggregated();
-        for r in set.regions_mut() {
-            r.nr_accesses = 15; // big change
+        for i in 0..set.len() {
+            set.set_nr_accesses(i, 15); // big change
         }
         set.merge_with_aging(2, PAGE_SIZE, 3);
-        assert!(set.regions().iter().all(|r| r.age == 0), "age reset on change");
+        assert!(set.iter().all(|r| r.age == 0), "age reset on change");
     }
 
     #[test]
     fn reset_aggregated_rolls_window() {
         let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 3);
-        set.regions_mut()[0].nr_accesses = 9;
+        set.set_nr_accesses(0, 9);
         set.reset_aggregated();
-        assert_eq!(set.regions()[0].nr_accesses, 0);
-        assert_eq!(set.regions()[0].last_nr_accesses, 9);
+        assert_eq!(set.get(0).nr_accesses, 0);
+        assert_eq!(set.get(0).last_nr_accesses, 9);
     }
 
     #[test]
     fn update_ranges_keeps_overlap_counters() {
         let mut set = RegionSet::init(&[AddrRange::new(0, mb(4))], 4);
-        for r in set.regions_mut() {
-            r.nr_accesses = 7;
-            r.age = 3;
+        for i in 0..set.len() {
+            set.set_nr_accesses(i, 7);
+            set.ages[i] = 3;
         }
         // Target grew by 2 MiB and lost its first MiB.
         set.update_ranges(&[AddrRange::new(mb(1), mb(6))]);
         set.check_invariants().unwrap();
         assert_eq!(set.total_bytes(), mb(5));
         // Old overlap keeps counters; the new tail starts fresh.
-        let first = &set.regions()[0];
+        let first = set.get(0);
         assert_eq!(first.nr_accesses, 7);
         assert_eq!(first.age, 3);
-        let last = set.regions().last().unwrap();
+        let last = set.get(set.len() - 1);
         assert_eq!(last.nr_accesses, 0);
         assert_eq!(last.age, 0);
         assert_eq!(last.range.end, mb(6));
@@ -338,7 +546,20 @@ mod tests {
         set.update_ranges(&[AddrRange::new(0, mb(1)), AddrRange::new(mb(10), mb(12))]);
         set.check_invariants().unwrap();
         assert_eq!(set.total_bytes(), mb(3));
-        assert!(set.regions().iter().any(|r| r.range.start >= mb(10)));
+        assert!(set.iter().any(|r| r.range.start >= mb(10)));
+    }
+
+    #[test]
+    fn update_ranges_clips_region_straddling_two_ranges() {
+        // One big region overlapping both halves of a split target must
+        // contribute its counters to both clipped pieces.
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(4))], 1);
+        set.set_nr_accesses(0, 9);
+        set.update_ranges(&[AddrRange::new(0, mb(1)), AddrRange::new(mb(2), mb(3))]);
+        set.check_invariants().unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.iter().all(|r| r.nr_accesses == 9));
+        assert_eq!(set.total_bytes(), mb(2));
     }
 
     #[test]
@@ -354,5 +575,21 @@ mod tests {
             assert!(set.len() <= 50);
             assert!(set.len() >= 10 || set.len() == 50);
         }
+    }
+
+    #[test]
+    fn sample_roundtrip_counts_young_pages() {
+        let mut set = RegionSet::init(&[AddrRange::new(0, mb(1))], 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let prepared = set.prepare_samples(&mut rng, |_| {});
+        assert_eq!(prepared, set.len() as u64);
+        assert!(set.iter().all(|r| r.sampling_addr.is_some()));
+        // Every sampled page reads young → every region counts one.
+        let checked = set.check_samples(|_| true);
+        assert_eq!(checked, prepared);
+        assert!(set.iter().all(|r| r.nr_accesses == 1));
+        assert!(set.iter().all(|r| r.sampling_addr.is_none()), "samples consumed");
+        // No outstanding samples → no checks.
+        assert_eq!(set.check_samples(|_| true), 0);
     }
 }

@@ -1,0 +1,171 @@
+//! Differential equivalence tests: the struct-of-arrays `RegionSet`
+//! (`daos_monitor::regions`) against the original array-of-structs
+//! implementation kept as an oracle (`daos_monitor::reference`).
+//!
+//! Both stores are driven through identical seeded operation sequences —
+//! two `SmallRng`s built from the same seed, consumed in the same order —
+//! and compared region by region (range, nr_accesses, last_nr_accesses,
+//! age, sampling_addr) after every step. Any semantic drift in the
+//! rewritten hot path shows up as a field-level mismatch with the exact
+//! seed and step in the panic message.
+
+use daos_mm::addr::{AddrRange, PAGE_SIZE};
+use daos_monitor::reference;
+use daos_monitor::regions::RegionSet;
+use daos_util::rng::SmallRng;
+
+fn mb(n: u64) -> u64 {
+    n << 20
+}
+
+/// Assert the two stores are region-for-region identical.
+fn assert_same(soa: &RegionSet, aos: &reference::RegionSet, what: &str) {
+    soa.check_invariants().unwrap_or_else(|e| panic!("{what}: SoA invariants: {e}"));
+    aos.check_invariants().unwrap_or_else(|e| panic!("{what}: reference invariants: {e}"));
+    assert_eq!(soa.len(), aos.len(), "{what}: region count");
+    assert_eq!(soa.total_bytes(), aos.total_bytes(), "{what}: total bytes");
+    for (i, (s, r)) in soa.iter().zip(aos.regions().iter()).enumerate() {
+        assert_eq!(s.range, r.range, "{what}: region {i} range");
+        assert_eq!(s.nr_accesses, r.nr_accesses, "{what}: region {i} nr_accesses");
+        assert_eq!(s.last_nr_accesses, r.last_nr_accesses, "{what}: region {i} last_nr_accesses");
+        assert_eq!(s.age, r.age, "{what}: region {i} age");
+        assert_eq!(s.sampling_addr, r.sampling_addr, "{what}: region {i} sampling_addr");
+    }
+    assert_eq!(soa.snapshot(), aos.snapshot(), "{what}: snapshot");
+}
+
+/// Drive both stores through `windows` aggregation windows of synthetic
+/// monitoring: prepare samples, check them against a deterministic
+/// "young" predicate, merge+age, reset, split — comparing after every op.
+fn run_monitor_cycle(seed: u64, ranges: &[AddrRange], windows: usize) {
+    let min_nr = 10;
+    let max_nr = 100;
+    let threshold = 2;
+
+    let mut soa = RegionSet::init(ranges, min_nr);
+    let mut aos = reference::RegionSet::init(ranges, min_nr);
+    assert_same(&soa, &aos, &format!("seed {seed}: init"));
+
+    let mut rng_a = SmallRng::seed_from_u64(seed);
+    let mut rng_b = SmallRng::seed_from_u64(seed);
+    // Deterministic access oracle: the low third of each range is "hot".
+    let hot = |addr: u64| ranges.iter().any(|r| r.contains(addr) && addr < r.start + r.len() / 3);
+
+    for w in 0..windows {
+        for tick in 0..5 {
+            let tag = format!("seed {seed}: window {w} tick {tick}");
+            let mut olded_a = Vec::new();
+            let mut olded_b = Vec::new();
+            let pa = soa.prepare_samples(&mut rng_a, |a| olded_a.push(a));
+            let pb = aos.prepare_samples(&mut rng_b, |a| olded_b.push(a));
+            assert_eq!(pa, pb, "{tag}: prepared count");
+            assert_eq!(olded_a, olded_b, "{tag}: mkold order");
+            assert_same(&soa, &aos, &format!("{tag}: after prepare"));
+
+            let ca = soa.check_samples(hot);
+            let cb = aos.check_samples(hot);
+            assert_eq!(ca, cb, "{tag}: checked count");
+            assert_same(&soa, &aos, &format!("{tag}: after check"));
+        }
+        let tag = format!("seed {seed}: window {w}");
+        let sz_limit = (soa.total_bytes() / min_nr as u64).max(PAGE_SIZE);
+        soa.merge_with_aging(threshold, sz_limit, min_nr);
+        aos.merge_with_aging(threshold, sz_limit, min_nr);
+        assert_same(&soa, &aos, &format!("{tag}: after merge"));
+
+        soa.reset_aggregated();
+        aos.reset_aggregated();
+        assert_same(&soa, &aos, &format!("{tag}: after reset"));
+
+        soa.split(&mut rng_a, max_nr);
+        aos.split(&mut rng_b, max_nr);
+        assert_same(&soa, &aos, &format!("{tag}: after split"));
+    }
+}
+
+#[test]
+fn monitor_cycle_matches_reference_across_seeds() {
+    let ranges = [AddrRange::new(0, mb(32)), AddrRange::new(mb(100), mb(108))];
+    for seed in 0..20 {
+        run_monitor_cycle(seed, &ranges, 8);
+    }
+}
+
+#[test]
+fn monitor_cycle_matches_reference_on_single_range() {
+    for seed in [1, 7, 42, 1337] {
+        run_monitor_cycle(seed, &[AddrRange::new(mb(1), mb(65))], 12);
+    }
+}
+
+#[test]
+fn monitor_cycle_matches_reference_on_unaligned_ranges() {
+    // Page-unaligned targets exercise the div_ceil page math and
+    // `append_evenly`'s final-piece handling in both implementations.
+    let ranges = [
+        AddrRange::new(0x800, mb(4) + 0x333),
+        AddrRange::new(mb(10) + 0xabc, mb(12) + 0x1),
+    ];
+    for seed in [3, 9, 27] {
+        run_monitor_cycle(seed, &ranges, 8);
+    }
+}
+
+#[test]
+fn init_matches_reference_for_tiny_and_skewed_ranges() {
+    let cases: &[&[AddrRange]] = &[
+        &[AddrRange::new(0, PAGE_SIZE)],
+        &[AddrRange::new(0, PAGE_SIZE), AddrRange::new(mb(1), mb(512))],
+        &[AddrRange::new(0, 1)], // sub-page range: one single region
+        &[AddrRange::new(0, mb(1)), AddrRange::empty(), AddrRange::new(mb(2), mb(3))],
+    ];
+    for ranges in cases {
+        for min_nr in [1, 3, 10, 1000] {
+            let soa = RegionSet::init(ranges, min_nr);
+            let aos = reference::RegionSet::init(ranges, min_nr);
+            assert_same(&soa, &aos, &format!("init min_nr={min_nr} ranges={ranges:?}"));
+        }
+    }
+}
+
+#[test]
+fn update_ranges_matches_reference_through_target_churn() {
+    // Grow, shrink, shift, punch holes — counters must clip identically.
+    let mut soa = RegionSet::init(&[AddrRange::new(0, mb(16))], 10);
+    let mut aos = reference::RegionSet::init(&[AddrRange::new(0, mb(16))], 10);
+    let mut rng_a = SmallRng::seed_from_u64(99);
+    let mut rng_b = SmallRng::seed_from_u64(99);
+
+    let targets: &[&[AddrRange]] = &[
+        // Grow at the tail.
+        &[AddrRange::new(0, mb(24))],
+        // Lose the head, keep the middle, add a far range.
+        &[AddrRange::new(mb(2), mb(20)), AddrRange::new(mb(100), mb(104))],
+        // Split the first range in two (a straddling region must
+        // contribute its counters to both halves).
+        &[
+            AddrRange::new(mb(2), mb(8)),
+            AddrRange::new(mb(12), mb(20)),
+            AddrRange::new(mb(100), mb(104)),
+        ],
+        // Collapse to a sliver, unaligned.
+        &[AddrRange::new(mb(5) + 0x123, mb(6) + 0x456)],
+        // Everything disappears.
+        &[],
+        // And comes back.
+        &[AddrRange::new(0, mb(8))],
+    ];
+    for (step, target) in targets.iter().enumerate() {
+        // Accumulate some per-region state so clipping has counters to keep.
+        soa.prepare_samples(&mut rng_a, |_| {});
+        aos.prepare_samples(&mut rng_b, |_| {});
+        soa.check_samples(|a| a % (3 * PAGE_SIZE) == 0);
+        aos.check_samples(|a| a % (3 * PAGE_SIZE) == 0);
+        soa.merge_with_aging(2, mb(4), 4);
+        aos.merge_with_aging(2, mb(4), 4);
+
+        soa.update_ranges(target);
+        aos.update_ranges(target);
+        assert_same(&soa, &aos, &format!("update step {step} → {target:?}"));
+    }
+}

@@ -33,6 +33,10 @@ pub enum SchemeConfigError {
     /// The attached quota has `sz_limit == 0`, which would silently
     /// disable the scheme (every region would be quota-skipped).
     ZeroQuota,
+    /// The attached quota has `reset_interval == 0`: the budget window
+    /// never has any width, and the original window-rolling loop spun
+    /// forever on it (see `QuotaState::maybe_reset`).
+    ZeroQuotaInterval,
 }
 
 impl core::fmt::Display for SchemeConfigError {
@@ -42,6 +46,9 @@ impl core::fmt::Display for SchemeConfigError {
             SchemeConfigError::ZeroQuota => {
                 write!(f, "quota sz_limit must be > 0 (a zero quota disables the scheme)")
             }
+            SchemeConfigError::ZeroQuotaInterval => {
+                write!(f, "quota reset_interval must be > 0 (a zero-width window never refills)")
+            }
         }
     }
 }
@@ -50,7 +57,7 @@ impl std::error::Error for SchemeConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SchemeConfigError::Watermarks(e) => Some(e),
-            SchemeConfigError::ZeroQuota => None,
+            SchemeConfigError::ZeroQuota | SchemeConfigError::ZeroQuotaInterval => None,
         }
     }
 }
@@ -127,6 +134,9 @@ impl SchemeConfigBuilder {
             if q.sz_limit == 0 {
                 return Err(SchemeConfigError::ZeroQuota);
             }
+            if q.reset_interval == 0 {
+                return Err(SchemeConfigError::ZeroQuotaInterval);
+            }
         }
         Ok(self.config)
     }
@@ -171,6 +181,17 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SchemeConfigError::ZeroQuota);
         assert!(err.to_string().contains("sz_limit"));
+    }
+
+    #[test]
+    fn build_rejects_zero_quota_interval() {
+        let err = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 1 << 20, reset_interval: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemeConfigError::ZeroQuotaInterval);
+        assert!(err.to_string().contains("reset_interval"));
     }
 
     #[test]

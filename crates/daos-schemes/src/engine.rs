@@ -176,10 +176,17 @@ impl SchemesEngine {
                     scheme: i as u32,
                     bytes: r.range.len(),
                 });
+                // Grant up to the remaining budget without consuming it
+                // yet: the quota is charged for what the action actually
+                // affects, after filters clip the range and the mm layer
+                // reports actionable bytes. Charging the full grant up
+                // front (the old behaviour) burned budget on
+                // filter-rejected and already-evicted bytes, so a scheme
+                // could stall with most of its nominal budget unspent.
                 let granted = match &mut self.quotas[i] {
                     Some(q) => {
-                        let g = q.consume(r.range.len());
-                        if g == 0 {
+                        let remaining = q.remaining();
+                        if remaining == 0 {
                             self.stats[i].nr_quota_skips += 1;
                             daos_trace::trace!(agg.at, QuotaThrottle {
                                 scheme: i as u32,
@@ -187,16 +194,18 @@ impl SchemesEngine {
                             });
                             continue;
                         }
-                        g
+                        remaining.min(r.range.len())
                     }
                     None => r.range.len(),
                 };
                 // Clip the acted-on range to the granted budget, then
                 // run it through the scheme's address filters.
                 let range = AddrRange::new(r.range.start, r.range.start + granted);
+                let mut applied_total = 0;
                 for allowed in apply_filters(range, &self.filters[i]) {
                     let applied = Self::apply(self.target, scheme.action, sys, allowed, pass);
                     if applied > 0 {
+                        applied_total += applied;
                         self.stats[i].applied(applied);
                         daos_trace::trace!(agg.at, SchemeApply {
                             scheme: i as u32,
@@ -204,6 +213,9 @@ impl SchemesEngine {
                             bytes: applied,
                         });
                     }
+                }
+                if let Some(q) = &mut self.quotas[i] {
+                    q.consume(applied_total.min(granted));
                 }
             }
         }
@@ -447,6 +459,127 @@ mod tests {
         assert_eq!(sys.nr_swapped_in(pid, b), 64, "cold region b evicted first");
         assert_eq!(sys.nr_swapped_in(pid, a), 0);
         assert_eq!(engine.stats()[0].nr_quota_skips, 1);
+    }
+
+    #[test]
+    fn reject_filtered_region_leaves_quota_intact() {
+        // Regression: the engine used to consume quota for the full
+        // granted bytes *before* filters ran, so a region that filters
+        // then rejected entirely still burned the whole window's budget
+        // and starved every later (actionable) region.
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let protected = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        let victim = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(protected, 1.0)).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(victim, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, protected);
+        clear_refs(&mut sys, pid, victim);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .filter(crate::filter::AddrFilter::reject(protected))
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
+        // The protected region is far colder → prioritised (and charged)
+        // first under the old accounting.
+        let agg = agg_of(vec![info(protected, 0, 90), info(victim, 0, 10)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(
+            pass.paged_out,
+            256 << 10,
+            "budget must survive the filtered region and fund the victim"
+        );
+        assert_eq!(sys.rss_bytes(pid), 256 << 10);
+        assert_eq!(sys.nr_swapped_in(pid, protected), 0, "filter held");
+        assert_eq!(sys.nr_swapped_in(pid, victim), 64);
+    }
+
+    #[test]
+    fn empty_reject_filter_is_a_noop() {
+        // Edge case: an empty filter range must neither clip the action
+        // nor perturb quota charging.
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 1 << 20, reset_interval: ms(1000) })
+            .filter(crate::filter::AddrFilter::reject(AddrRange::empty()))
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
+        let agg = agg_of(vec![info(range, 0, 90)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 256 << 10);
+        assert_eq!(engine.stats()[0].nr_quota_skips, 0);
+    }
+
+    #[test]
+    fn quota_charges_applied_not_granted_bytes() {
+        // A region that is already swapped out yields zero actionable
+        // bytes; acting on it must not consume budget.
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let gone = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        let live = sys.mmap(pid, 256 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(gone, 1.0)).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(live, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, gone);
+        clear_refs(&mut sys, pid, live);
+        sys.pageout(pid, gone).unwrap(); // now nothing is resident there
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
+        // `gone` is colder, so it is attempted (and, before the fix,
+        // fully charged) first.
+        let agg = agg_of(vec![info(gone, 0, 90), info(live, 0, 10)]);
+        let pass = engine.on_aggregation(&mut sys, &agg);
+        assert_eq!(pass.paged_out, 256 << 10, "budget funds bytes actually reclaimed");
+        assert_eq!(sys.rss_bytes(pid), 0);
+    }
+
+    #[test]
+    fn quota_window_starting_past_zero_still_refills() {
+        // Quota state is constructed at t=0 but the first aggregation
+        // may arrive much later; the window must roll on the grid and
+        // refill rather than staying stuck in the first window.
+        let mut sys = sys();
+        let pid = sys.spawn();
+        let range = sys.mmap(pid, 512 << 10, ThpMode::Never).unwrap();
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let config = Scheme::any(Action::Pageout)
+            .configure()
+            .quota(Quota { sz_limit: 256 << 10, reset_interval: ms(1000) })
+            .build()
+            .unwrap();
+        let mut engine = SchemesEngine::new(SchemeTarget::Virtual(pid), vec![config]);
+        let mk = |at| Aggregation {
+            at,
+            regions: vec![info(range, 0, 100)],
+            max_nr_accesses: 20,
+            aggregation_interval: ms(100),
+        };
+        // First pass lands mid-stream at t=2.5s: one window's budget.
+        let pass = engine.on_aggregation(&mut sys, &mk(ms(2500)));
+        assert_eq!(pass.paged_out, 256 << 10);
+        // Same window → throttled.
+        let pass = engine.on_aggregation(&mut sys, &mk(ms(2600)));
+        assert_eq!(pass.paged_out, 0);
+        assert!(engine.stats()[0].nr_quota_skips >= 1);
+        // Next window boundary (grid anchored at t=0) → budget refills.
+        // Fault the evicted head back in so there is something to reclaim.
+        sys.apply_access(pid, &AccessBatch::all(range, 1.0)).unwrap();
+        clear_refs(&mut sys, pid, range);
+        let pass = engine.on_aggregation(&mut sys, &mk(ms(3000)));
+        assert_eq!(pass.paged_out, 256 << 10);
     }
 
     #[test]

@@ -35,12 +35,24 @@ impl QuotaState {
         Self { quota, used: 0, next_reset: now + quota.reset_interval }
     }
 
-    /// Roll the window if due.
+    /// Roll the window if due. O(1) however far `now` has jumped: the
+    /// next boundary is computed by division, keeping it on the grid
+    /// anchored at construction time. A `reset_interval` of zero
+    /// (rejected by `SchemeConfigBuilder::build`, but reachable through a
+    /// hand-built `Quota`) degrades to "reset every call" instead of the
+    /// infinite loop the old `while`-increment implementation span into.
     pub fn maybe_reset(&mut self, now: Ns) {
-        while now >= self.next_reset {
-            self.used = 0;
-            self.next_reset += self.quota.reset_interval;
+        if now < self.next_reset {
+            return;
         }
+        self.used = 0;
+        let interval = self.quota.reset_interval;
+        if interval == 0 {
+            self.next_reset = now;
+            return;
+        }
+        let periods = (now - self.next_reset) / interval + 1;
+        self.next_reset += periods * interval;
     }
 
     /// Bytes still available this window.
@@ -100,6 +112,39 @@ mod tests {
         assert_eq!(st.remaining(), 100, "window rolled");
         st.maybe_reset(45);
         assert_eq!(st.remaining(), 100);
+    }
+
+    #[test]
+    fn zero_reset_interval_terminates() {
+        // Regression: `reset_interval == 0` used to make `maybe_reset`
+        // increment `next_reset` by zero forever (an infinite loop the
+        // first time any scheme with such a quota fired).
+        let q = Quota { sz_limit: 100, reset_interval: 0 };
+        let mut st = QuotaState::new(q, 5);
+        st.maybe_reset(5); // old code hung here
+        assert_eq!(st.remaining(), 100);
+        assert_eq!(st.consume(40), 40);
+        st.maybe_reset(6); // degenerate quota resets every call
+        assert_eq!(st.remaining(), 100);
+    }
+
+    #[test]
+    fn reset_stays_on_grid_after_large_jump() {
+        // A quota window that starts mid-stream (first aggregation at
+        // t > 0) must keep its boundaries anchored to construction time,
+        // however far virtual time jumps between resets.
+        let q = Quota { sz_limit: 100, reset_interval: 10 };
+        let mut st = QuotaState::new(q, 3); // boundaries at 13, 23, 33, ...
+        st.consume(100);
+        st.maybe_reset(12);
+        assert_eq!(st.remaining(), 0, "not due before the first boundary");
+        st.maybe_reset(1_000_007); // ~10^5 windows at once, O(1)
+        assert_eq!(st.remaining(), 100);
+        st.consume(100);
+        st.maybe_reset(1_000_012);
+        assert_eq!(st.remaining(), 0, "still inside the window ending at 1_000_013");
+        st.maybe_reset(1_000_013);
+        assert_eq!(st.remaining(), 100, "grid preserved across the jump");
     }
 
     #[test]

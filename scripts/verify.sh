@@ -84,15 +84,24 @@ kill "$serve_pid" 2>/dev/null
 wait "$serve_pid" 2>/dev/null || true
 echo "ok"
 
-echo "== bench pipeline emits well-formed BENCH_pipeline.json =="
-DAOS_BENCH_OUT="$tmp/bench.json" target/release/pipeline --quick > /dev/null
+echo "== bench pipeline: well-formed artifact, hot paths within baseline =="
+# A full (non-quick) run takes <1 s and its medians are stable enough to
+# gate; --quick's 3x5 samples are not. The margin absorbs slow shared
+# CI machines while still catching any real hot-path regression (the
+# pre-rebuild scheme-apply path was ~9x over today's baseline).
+DAOS_BENCH_OUT="$tmp/bench.json" target/release/pipeline > /dev/null
 [ -s "$tmp/bench.json" ] || { echo "FAIL: BENCH_pipeline.json empty"; exit 1; }
-target/release/pipeline --check "$tmp/bench.json" || {
-    echo "FAIL: BENCH_pipeline.json is not well-formed JSON"; exit 1
-}
 # The committed baseline at the repo root must stay well-formed too.
 target/release/pipeline --check BENCH_pipeline.json || {
     echo "FAIL: committed BENCH_pipeline.json is not well-formed JSON"; exit 1
+}
+target/release/pipeline --check "$tmp/bench.json" \
+    --baseline BENCH_pipeline.json --margin 150 || {
+    echo "FAIL: hot-path bench regressed past the committed baseline + margin"
+    echo "(compare $tmp/bench.json against BENCH_pipeline.json; if the"
+    echo "slowdown is intentional, regenerate the baseline with"
+    echo "'cargo run --release -p daos-bench --bin pipeline')"
+    exit 1
 }
 echo "ok"
 

@@ -1,0 +1,147 @@
+//! Bench-artifact machinery shared by the `pipeline` and `fleet_bench`
+//! binaries: artifact JSON assembly, the committed-baseline regression
+//! gate that `scripts/verify.sh` drives via `--check --baseline
+//! --margin`, and the tiny argv helpers. Pure functions only — the
+//! binaries own all printing and exit codes.
+
+use std::path::PathBuf;
+
+use daos_util::bench::Timing;
+use daos_util::json::Json;
+
+/// One [`Timing`] as the artifact's per-bench JSON object.
+pub fn timing_json(t: &Timing) -> Json {
+    Json::Object(vec![
+        ("median_ns".into(), Json::F64(t.median_ns)),
+        ("min_ns".into(), Json::F64(t.min_ns)),
+        ("max_ns".into(), Json::F64(t.max_ns)),
+        ("iters".into(), Json::U64(t.iters)),
+    ])
+}
+
+/// The full artifact document for a harness run.
+pub fn artifact_doc(bench: &str, quick: bool, samples: usize, results: &[(String, Timing)]) -> Json {
+    let results: Vec<(String, Json)> =
+        results.iter().map(|(name, t)| (name.clone(), timing_json(t))).collect();
+    Json::Object(vec![
+        ("bench".into(), Json::Str(bench.into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("samples".into(), Json::U64(samples as u64)),
+        ("results".into(), Json::Object(results)),
+    ])
+}
+
+/// Artifact output path: the `DAOS_BENCH_OUT` override, or `file` at
+/// the repo root (two levels above this crate's manifest).
+pub fn out_path(file: &str) -> PathBuf {
+    match std::env::var("DAOS_BENCH_OUT") {
+        Ok(p) => p.into(),
+        Err(_) => {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file)
+        }
+    }
+}
+
+/// Parse an artifact's text into JSON.
+pub fn parse_artifact(text: &str) -> Result<Json, String> {
+    daos_util::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))
+}
+
+/// The median timing recorded for `bench`, if the artifact has one.
+pub fn median_of(doc: &Json, bench: &str) -> Option<f64> {
+    match doc.get("results").and_then(|r| r.get(bench)).and_then(|t| t.get("median_ns")) {
+        Some(Json::F64(v)) => Some(*v),
+        Some(Json::U64(v)) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// One gated comparison against the committed baseline.
+pub struct GateCheck {
+    /// The gated bench name.
+    pub bench: String,
+    /// The fresh median.
+    pub got_ns: f64,
+    /// The baseline median.
+    pub reference_ns: f64,
+    /// The pass bound: baseline plus the margin.
+    pub bound_ns: f64,
+}
+
+impl GateCheck {
+    /// Whether this bench exceeded its bound.
+    pub fn regressed(&self) -> bool {
+        self.got_ns > self.bound_ns
+    }
+}
+
+/// Compare every gated median in `doc` against `base` with a
+/// `margin_pct` percent allowance. `Err` names the first bench either
+/// artifact is missing a median for.
+pub fn gate(
+    doc: &Json,
+    base: &Json,
+    gated: &[&str],
+    margin_pct: f64,
+) -> Result<Vec<GateCheck>, String> {
+    gated
+        .iter()
+        .map(|&bench| {
+            let got_ns = median_of(doc, bench)
+                .ok_or_else(|| format!("artifact has no median for {bench}"))?;
+            let reference_ns = median_of(base, bench)
+                .ok_or_else(|| format!("baseline has no median for {bench}"))?;
+            let bound_ns = reference_ns * (1.0 + margin_pct / 100.0);
+            Ok(GateCheck { bench: bench.to_string(), got_ns, reference_ns, bound_ns })
+        })
+        .collect()
+}
+
+/// The value following `flag` in `argv`, if any.
+pub fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(|s| s.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(median: f64) -> Json {
+        parse_artifact(&format!(
+            r#"{{"bench":"t","results":{{"a/b":{{"median_ns":{median},"iters":3}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn median_lookup_and_gate() {
+        let fresh = artifact(150.0);
+        let base = artifact(100.0);
+        assert_eq!(median_of(&fresh, "a/b"), Some(150.0));
+        assert_eq!(median_of(&fresh, "a/missing"), None);
+
+        let checks = gate(&fresh, &base, &["a/b"], 100.0).unwrap();
+        assert!(!checks[0].regressed(), "150 within 100 + 100%");
+        let checks = gate(&fresh, &base, &["a/b"], 10.0).unwrap();
+        assert!(checks[0].regressed(), "150 exceeds 100 + 10%");
+        assert!(gate(&fresh, &base, &["a/missing"], 10.0).is_err());
+    }
+
+    #[test]
+    fn artifact_doc_round_trips() {
+        let t = Timing { median_ns: 1.5, min_ns: 1.0, max_ns: 2.0, iters: 7 };
+        let doc = artifact_doc("demo", true, 3, &[("x/y".into(), t)]);
+        let text = doc.to_string_compact();
+        let back = parse_artifact(&text).unwrap();
+        assert_eq!(median_of(&back, "x/y"), Some(1.5));
+    }
+
+    #[test]
+    fn flag_values_parse() {
+        let argv: Vec<String> =
+            ["bin", "--check", "f.json", "--margin", "50"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&argv, "--check"), Some("f.json"));
+        assert_eq!(flag_value(&argv, "--margin"), Some("50"));
+        assert_eq!(flag_value(&argv, "--baseline"), None);
+    }
+}

@@ -4,7 +4,7 @@
 //! the paper's Conclusions 3 and 4.
 
 use daos::{run, Normalized, RunConfig, RunResult};
-use daos_bench::pool::par_map;
+use daos_util::pool::par_map;
 use daos_bench::report::{mean, r3, write_artifact, Table};
 use daos_bench::scale::Scale;
 use daos_mm::MachineProfile;

@@ -4,7 +4,7 @@
 //! (Conclusion-5).
 
 use daos::{run, score_inputs, score_vs_baseline, Normalized, RunConfig};
-use daos_bench::pool::par_map;
+use daos_util::pool::par_map;
 use daos_bench::report::{mean, write_artifact, Table};
 use daos_bench::scale::Scale;
 use daos_mm::clock::sec;

@@ -8,6 +8,7 @@
 //! (verify.sh only checks the artifact is well-formed JSON);
 //! `DAOS_BENCH_OUT` overrides the output path.
 
+use daos_bench::artifact;
 use daos_mm::addr::AddrRange;
 use daos_mm::clock::ms;
 use daos_mm::{MemorySystem, SwapConfig, ThpMode};
@@ -16,8 +17,7 @@ use daos_monitor::{
     Aggregation, MonitorAttrs, MonitorCtx, RegionInfo, SyntheticPrimitives, SyntheticSpace,
 };
 use daos_schemes::{parse_scheme_line, SchemeTarget, SchemesEngine};
-use daos_util::bench::{Harness, Timing};
-use daos_util::json::Json;
+use daos_util::bench::Harness;
 use std::hint::black_box;
 
 const TARGET: AddrRange = AddrRange::new(0, 64 << 20);
@@ -120,31 +120,12 @@ fn bench_trace_toggle(h: &mut Harness, iters: u64) {
     }
 }
 
-fn timing_json(t: &Timing) -> Json {
-    Json::Object(vec![
-        ("median_ns".into(), Json::F64(t.median_ns)),
-        ("min_ns".into(), Json::F64(t.min_ns)),
-        ("max_ns".into(), Json::F64(t.max_ns)),
-        ("iters".into(), Json::U64(t.iters)),
-    ])
-}
-
-fn out_path() -> std::path::PathBuf {
-    match std::env::var("DAOS_BENCH_OUT") {
-        Ok(p) => p.into(),
-        // The repo root, two levels above this crate's manifest.
-        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_pipeline.json"),
-    }
-}
-
 /// Hot-path timings gated against the committed baseline by
 /// `--check --baseline`: the region/mm rebuild targets, so a rewrite
 /// that quietly regresses either shows up in verify.sh.
 const GATED: [&str; 2] = ["schemes/apply_1000_regions", "monitor/aggregate_window"];
 
-fn parse_artifact(path: &str) -> Json {
+fn read_artifact(path: &str) -> daos_util::json::Json {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -152,22 +133,10 @@ fn parse_artifact(path: &str) -> Json {
             std::process::exit(74);
         }
     };
-    match daos_util::json::parse(&text) {
+    match artifact::parse_artifact(&text) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("pipeline --check: {path} is not valid JSON: {e}");
-            std::process::exit(65);
-        }
-    }
-}
-
-fn median_of(doc: &Json, path: &str, bench: &str) -> f64 {
-    let median = doc.get("results").and_then(|r| r.get(bench)).and_then(|t| t.get("median_ns"));
-    match median {
-        Some(Json::F64(v)) => *v,
-        Some(Json::U64(v)) => *v as f64,
-        _ => {
-            eprintln!("pipeline --check: {path} has no median for {bench}");
+            eprintln!("pipeline --check: {path} is {e}");
             std::process::exit(65);
         }
     }
@@ -178,38 +147,39 @@ fn median_of(doc: &Json, path: &str, bench: &str) -> f64 {
 /// of the gated hot-path medians exceeds the baseline median by more
 /// than PCT percent. Exit 65 on a regression — the verify.sh perf gate.
 fn check(path: &str, baseline: Option<&str>, margin_pct: f64) -> ! {
-    let doc = parse_artifact(path);
+    let doc = read_artifact(path);
     let Some(base_path) = baseline else { std::process::exit(0) };
-    let base = parse_artifact(base_path);
+    let base = read_artifact(base_path);
+    let checks = artifact::gate(&doc, &base, &GATED, margin_pct).unwrap_or_else(|e| {
+        eprintln!("pipeline --check: {e}");
+        std::process::exit(65);
+    });
     let mut regressed = false;
-    for bench in GATED {
-        let got = median_of(&doc, path, bench);
-        let reference = median_of(&base, base_path, bench);
-        let bound = reference * (1.0 + margin_pct / 100.0);
-        if got > bound {
+    for c in &checks {
+        if c.regressed() {
             eprintln!(
-                "pipeline --check: {bench} regressed: {got:.0} ns > {bound:.0} ns \
-                 (baseline {reference:.0} ns + {margin_pct}% margin)"
+                "pipeline --check: {} regressed: {:.0} ns > {:.0} ns \
+                 (baseline {:.0} ns + {margin_pct}% margin)",
+                c.bench, c.got_ns, c.bound_ns, c.reference_ns
             );
             regressed = true;
         } else {
-            println!("pipeline --check: {bench} ok: {got:.0} ns <= {bound:.0} ns");
+            println!(
+                "pipeline --check: {} ok: {:.0} ns <= {:.0} ns",
+                c.bench, c.got_ns, c.bound_ns
+            );
         }
     }
     std::process::exit(if regressed { 65 } else { 0 });
 }
 
-fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
-    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).map(|s| s.as_str())
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.iter().any(|a| a == "--check") {
-        match flag_value(&argv, "--check") {
+        match artifact::flag_value(&argv, "--check") {
             Some(path) => {
-                let baseline = flag_value(&argv, "--baseline");
-                let margin = match flag_value(&argv, "--margin") {
+                let baseline = artifact::flag_value(&argv, "--baseline");
+                let margin = match artifact::flag_value(&argv, "--margin") {
                     Some(m) => m.parse().unwrap_or_else(|_| {
                         eprintln!("pipeline --margin needs a number (percent)");
                         std::process::exit(64);
@@ -234,22 +204,14 @@ fn main() {
     bench_scheme_apply(&mut h, iters);
     bench_trace_toggle(&mut h, iters * 4);
 
-    let results: Vec<(String, Json)> =
-        h.results().iter().map(|(name, t)| (name.clone(), timing_json(t))).collect();
-    let doc = Json::Object(vec![
-        ("bench".into(), Json::Str("pipeline".into())),
-        ("quick".into(), Json::Bool(quick)),
-        ("samples".into(), Json::U64(samples as u64)),
-        ("results".into(), Json::Object(results)),
-    ]);
+    let doc = artifact::artifact_doc("pipeline", quick, samples, h.results());
     let text = doc.to_string_compact();
-
     // Self-validate before writing: the artifact must re-parse.
-    if let Err(e) = daos_util::json::parse(&text) {
-        eprintln!("pipeline: generated artifact is not valid JSON: {e}");
+    if let Err(e) = artifact::parse_artifact(&text) {
+        eprintln!("pipeline: generated artifact is {e}");
         std::process::exit(70);
     }
-    let path = out_path();
+    let path = artifact::out_path("BENCH_pipeline.json");
     if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
         eprintln!("pipeline: cannot write {}: {e}", path.display());
         std::process::exit(74);

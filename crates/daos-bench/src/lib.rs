@@ -19,7 +19,7 @@
 //! Scaling: `DAOS_QUICK=1` smoke grids, default full-qualitative grids,
 //! `DAOS_FULL=1` the paper-exact grids. Artifacts land in `./results`.
 
-pub mod pool;
+pub mod artifact;
 pub mod report;
 pub mod scale;
 pub mod sweep;

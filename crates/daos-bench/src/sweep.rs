@@ -7,7 +7,7 @@ use daos_mm::MachineProfile;
 use daos_tuner::{DefaultScore, ScoreFn};
 use daos_workloads::WorkloadSpec;
 
-use crate::pool::par_map;
+use daos_util::pool::par_map;
 use crate::report::mean;
 
 /// One sweep sample.

@@ -17,7 +17,8 @@ pub struct Args {
 const VALUE_OPTIONS: &[&str] = &[
     "machine", "out", "seed", "rows", "cols", "schemes-file", "scheme", "range", "samples",
     "swap", "min-age", "duration", "config", "ring", "epochs", "serve", "refresh",
-    "iterations", "publish-every",
+    "iterations", "publish-every", "processes", "shard-size", "workers", "tenants",
+    "footprint",
 ];
 
 impl Args {

@@ -7,15 +7,15 @@ use std::time::Duration;
 
 use daos::{
     biggest_active_span, record_from_csv, record_to_csv, run, run_observed, score_inputs,
-    score_vs_baseline, DaosError, Heatmap, Normalized, RunConfig, RunResult, WssReport,
+    score_vs_baseline, DaosError, FleetSpec, Heatmap, MonitorKind, Normalized, RunConfig,
+    RunResult, Session, WssReport,
 };
-use daos_obs::{Dashboard, EpochPublisher, ObsServer, ObsSnapshot, Publisher};
-use daos_mm::clock::{sec, SEC};
-use daos_mm::{MemorySystem, SwapConfig};
-use daos_monitor::{MonitorAttrs, MonitorCtx, PaddrPrimitives};
-use daos_schemes::{parse_scheme_line, parse_schemes, SchemeTarget, SchemesEngine};
+use daos_obs::{Dashboard, EpochPublisher, FleetPublisher, ObsServer, ObsSnapshot, Publisher};
+use daos_mm::clock::sec;
+use daos_mm::SwapConfig;
+use daos_schemes::{parse_scheme_line, parse_schemes};
 use daos_tuner::{tune as tuner_tune, DefaultScore, ScoreFn, TunerConfig};
-use daos_workloads::{by_path, paper_suite, FleetConfig, ServerlessFleet};
+use daos_workloads::{by_path, paper_suite, FleetConfig};
 
 use crate::args::Args;
 
@@ -618,7 +618,15 @@ pub fn tune(args: &Args) -> Result<(), DaosError> {
     Ok(())
 }
 
-/// `daos fleet`
+/// `daos fleet`: the §4.4 serverless production scenario at fleet
+/// scale. One serverless worker spec is replicated `--processes` times
+/// under the sharded work-stealing engine (the [`Session`] API), with
+/// physical-address monitoring under a fleet-wide region budget and the
+/// paper's pageout scheme applied batched per shard. Prints the fleet
+/// summary: per-tenant aggregates, monitoring overhead per process, and
+/// per-process trace-ring drop counts (with `--ring`). With
+/// `--serve ADDR` the run publishes one snapshot per fleet, whose
+/// `/metrics` exposition carries per-tenant label families.
 pub fn fleet(args: &Args) -> Result<(), DaosError> {
     let machine = args.machine()?;
     let swap = match args.opt("swap").unwrap_or("zram") {
@@ -630,49 +638,76 @@ pub fn fleet(args: &Args) -> Result<(), DaosError> {
         }
     };
     let min_age: u64 = args.opt_num("min-age", 30)?;
-    let duration: u64 = args.opt_num("duration", 180)?;
+    let processes: usize = args.opt_num("processes", 256)?;
+    let epochs: u64 = args.opt_num("epochs", 60)?;
+    let shard_size: usize = args.opt_num("shard-size", 32)?;
+    let workers: usize = args.opt_num("workers", 0)?;
+    let tenants: usize = args.opt_num("tenants", 4)?;
+    let fleet_cfg = FleetConfig::default();
+    let footprint: u64 = args.opt_num("footprint", fleet_cfg.worker_footprint >> 20)?;
     let seed = args.seed()?;
 
-    println!(
-        "serverless fleet on {} with {:?}, pageout idle >= {min_age}s, {duration}s...",
-        machine.name, swap
-    );
-    let mut sys = MemorySystem::new(machine, swap, seed);
-    let mut fleet = ServerlessFleet::new(FleetConfig::default(), seed);
-    fleet.setup(&mut sys)?;
-    let full = fleet.total_rss(&sys) as f64;
-    let scheme = parse_scheme_line(&format!("min max min min {min_age}s max pageout"))?;
-    let mut engine = SchemesEngine::new(SchemeTarget::Physical, vec![scheme]);
-    let mut monitor =
-        MonitorCtx::new(MonitorAttrs::paper_defaults(), PaddrPrimitives, &sys, 0, seed);
-    let mut sink = Vec::new();
-    let mut next_report = 30 * SEC;
-    while sys.now() < duration * SEC {
-        let cost = fleet.epoch(&mut sys)?;
-        sys.advance(cost);
-        let now = sys.now();
-        monitor.step(&mut sys, now, &mut sink);
-        let i = sys.charge_monitor(monitor.take_work_ns());
-        sys.advance(i);
-        for agg in sink.drain(..) {
-            let pass = engine.on_aggregation(&mut sys, &agg);
-            let i2 = sys.charge_schemes(pass.work_ns);
-            sys.advance(i2);
+    // The production configuration: physical-address monitoring feeding
+    // the pageout scheme, unless --config picks a named paper config.
+    let config = match args.opt("config") {
+        Some(name) => {
+            let mut c = named_config(name)?;
+            c.swap = swap;
+            c
         }
-        if sys.now() >= next_report {
-            println!(
-                "  t={:>4.0}s  fleet memory {:>5.1}% of startup RSS",
-                sys.now() as f64 / 1e9,
-                100.0 * fleet.total_memory_usage(&sys) as f64 / full
-            );
-            next_report += 30 * SEC;
-        }
+        None => RunConfig::builder("fleet-prcl")
+            .monitor(MonitorKind::Paddr)
+            .scheme(parse_scheme_line(&format!("min max min min {min_age}s max pageout"))?)
+            .swap(swap)
+            .build()?,
+    };
+    let spec = FleetConfig { worker_footprint: footprint << 20, ..fleet_cfg }.worker_spec(epochs);
+
+    let mut fleet_spec =
+        FleetSpec::new(processes).shard_size(shard_size).workers(workers).tenants(tenants);
+    let ring: usize = args.opt_num("ring", 0)?;
+    if ring > 0 {
+        fleet_spec = fleet_spec.trace_ring(ring);
     }
+
     println!(
-        "\nfinal: {:.1}% of startup memory ({} pages paged out); paper Fig. 9: ~20% (zram) / ~10% (file)",
-        100.0 * fleet.total_memory_usage(&sys) as f64 / full,
-        sys.kstats.damos_pageouts
+        "fleet: {processes} serverless workers x {epochs} epochs under '{}' on {} \
+         ({} shards, {tenants} tenants, {:?})...",
+        config.name,
+        machine.name,
+        fleet_spec.nr_shards(),
+        config.swap,
     );
+
+    let session = Session::new(&machine, &config, &spec).seed(seed);
+    let (summary, server) = match args.opt("serve") {
+        None => {
+            let result = session.fleet(fleet_spec).execute()?;
+            (result.fleet.expect("fleet session carries a summary"), None)
+        }
+        Some(addr) => {
+            let publish_every: u64 = args.opt_num("publish-every", 1)?;
+            let publisher = Publisher::new();
+            let server =
+                ObsServer::bind(addr, publisher.clone()).map_err(|e| DaosError::io(addr, e))?;
+            println!("serving observability on {}", server.addr());
+            let mut obs = FleetPublisher::new(
+                publisher,
+                &config.name,
+                &spec.path_name(),
+                &machine.name,
+                publish_every,
+            );
+            let result = session.fleet(fleet_spec).fleet_observer(&mut obs).execute()?;
+            let summary = result.fleet.expect("fleet session carries a summary");
+            obs.finalize(&summary);
+            (summary, Some(server))
+        }
+    };
+    print!("{}", summary.render());
+    if let Some(server) = &server {
+        maybe_linger(args, server);
+    }
     Ok(())
 }
 
@@ -792,6 +827,16 @@ mod tests {
     fn fleet_rejects_unknown_swap() {
         let err = fleet(&args("--swap tape")).unwrap_err();
         assert!(err.to_string().contains("unknown swap"));
+    }
+
+    #[test]
+    fn fleet_small_run_succeeds() {
+        // The smallest interesting fleet: two shards, a tiny trace ring
+        // (so the drop path is exercised) and a named config override.
+        fleet(&args("--processes 4 --epochs 6 --shard-size 2 --tenants 2 --ring 32")).unwrap();
+        fleet(&args("--processes 2 --epochs 4 --config prcl --swap none")).unwrap();
+        let err = fleet(&args("--config warp9")).unwrap_err();
+        assert!(err.to_string().contains("unknown config"));
     }
 
     #[test]

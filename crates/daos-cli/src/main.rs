@@ -45,8 +45,15 @@ SUBCOMMANDS:
         [--serve ADDR] [--publish-every N] [--linger]
     tune <workload>           auto-tune the prcl scheme's min_age
         [--range LO:HI] [--samples N] [--machine ...] [--seed N]
-    fleet                     the serverless production scenario
-        [--swap zram|file|none] [--min-age SECONDS] [--duration SECONDS]
+    fleet                     the serverless production scenario at
+        scale: N worker processes under the sharded work-stealing
+        monitoring engine, with per-tenant aggregation
+        [--processes N] [--epochs N] [--shard-size N] [--workers N]
+        [--tenants N] [--footprint MIB] [--ring N]
+        [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
+        [--swap zram|file|none] [--min-age SECONDS]
+        [--machine i3|m5d|z1d] [--seed N]
+        [--serve ADDR] [--publish-every N] [--linger]
 
 Every command is deterministic under a fixed --seed.
 ";

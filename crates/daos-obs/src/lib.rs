@@ -36,7 +36,7 @@ pub mod server;
 pub mod snapshot;
 pub mod top;
 
-pub use publisher::{EpochPublisher, Publisher, DEFAULT_TAIL_CAPACITY};
+pub use publisher::{EpochPublisher, FleetPublisher, Publisher, DEFAULT_TAIL_CAPACITY};
 pub use server::ObsServer;
 pub use snapshot::ObsSnapshot;
 pub use top::Dashboard;

@@ -43,17 +43,29 @@ fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
     out.push_str(&format!("{name}_count {}\n", h.count()));
 }
 
+/// Counter-key prefixes that collapse into labelled families:
+/// `scheme.<i>.<field>` → `daos_scheme_<field>{scheme="i"}`, and
+/// `tenant.<t>.<field>` → `daos_tenant_<field>{tenant="t"}` (the fleet
+/// engine's per-tenant aggregates).
+const LABELLED_PREFIXES: [&str; 2] = ["scheme", "tenant"];
+
 /// Render the registry part of the exposition into `out`.
 fn render_registry(out: &mut String, reg: &Registry) {
-    // Counters: per-scheme keys collapse into labelled families.
-    let mut scheme_families: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    // Counters: per-scheme / per-tenant keys collapse into labelled
+    // families.
+    let mut labelled: BTreeMap<(&str, &str), Vec<(&str, u64)>> = BTreeMap::new();
     let mut plain: Vec<(&str, u64)> = Vec::new();
     for (key, value) in reg.counters() {
-        match key
-            .strip_prefix("scheme.")
-            .and_then(|rest| rest.split_once('.'))
-        {
-            Some((idx, field)) => scheme_families.entry(field).or_default().push((idx, value)),
+        let split = LABELLED_PREFIXES.iter().find_map(|label| {
+            key.strip_prefix(label)
+                .and_then(|rest| rest.strip_prefix('.'))
+                .and_then(|rest| rest.split_once('.'))
+                .map(|(idx, field)| (*label, idx, field))
+        });
+        match split {
+            Some((label, idx, field)) => {
+                labelled.entry((label, field)).or_default().push((idx, value))
+            }
             None => plain.push((key, value)),
         }
     }
@@ -62,11 +74,16 @@ fn render_registry(out: &mut String, reg: &Registry) {
         family(out, &name, "counter", &format!("daos-trace counter {key}"));
         out.push_str(&format!("{name} {value}\n"));
     }
-    for (field, entries) in scheme_families {
-        let name = mangle(&format!("scheme.{field}"));
-        family(out, &name, "counter", &format!("per-scheme counter scheme.<i>.{field}"));
+    for ((label, field), entries) in labelled {
+        let name = mangle(&format!("{label}.{field}"));
+        family(
+            out,
+            &name,
+            "counter",
+            &format!("per-{label} counter {label}.<{label}>.{field}"),
+        );
         for (idx, value) in entries {
-            out.push_str(&format!("{name}{{scheme=\"{idx}\"}} {value}\n"));
+            out.push_str(&format!("{name}{{{label}=\"{idx}\"}} {value}\n"));
         }
     }
     for (key, value) in reg.gauges() {
@@ -230,6 +247,21 @@ mod tests {
         assert_eq!(m["daos_span_sample_ns_bucket{le=\"128\"}"], 3.0);
         assert_eq!(m["daos_span_sample_ns_bucket{le=\"+Inf\"}"], 3.0);
         assert_eq!(m["daos_obs_seq"], 1.0);
+    }
+
+    #[test]
+    fn tenant_counters_fold_into_label_families() {
+        let mut reg = Registry::new();
+        reg.counter_add("tenant.t0.rss_bytes", 1024);
+        reg.counter_add("tenant.t1.rss_bytes", 2048);
+        reg.counter_add("tenant.t1.nr_processes", 7);
+        reg.counter_add("fleet.nr_processes", 14);
+        let snap = ObsSnapshot { seq: 2, registry: reg, ..Default::default() };
+        let m = sample_map(&render(&snap));
+        assert_eq!(m["daos_tenant_rss_bytes{tenant=\"t0\"}"], 1024.0);
+        assert_eq!(m["daos_tenant_rss_bytes{tenant=\"t1\"}"], 2048.0);
+        assert_eq!(m["daos_tenant_nr_processes{tenant=\"t1\"}"], 7.0);
+        assert_eq!(m["daos_fleet_nr_processes"], 14.0, "fleet totals stay plain");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! a pointer swap.
 
 use crate::snapshot::ObsSnapshot;
-use daos::{RunObserver, RunProgress, RunResult};
+use daos::{FleetObserver, FleetProgress, FleetSummary, RunObserver, RunProgress, RunResult, TenantStats};
 use daos_trace::{Registry, Ring, TimedEvent};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -268,6 +268,138 @@ impl RunObserver for EpochPublisher {
 /// currently installed collector, or an empty registry.
 pub fn current_registry() -> Registry {
     daos_trace::registry_snapshot().unwrap_or_default()
+}
+
+/// A [`FleetObserver`] that publishes **one snapshot per fleet** every
+/// `publish_every` ticks: fleet totals as `fleet.*` counters and
+/// per-tenant aggregates as `tenant.<name>.*` counters, which `/metrics`
+/// folds into `daos_tenant_*{tenant="..."}` label families. In the
+/// snapshot scalars, `avg_rss_bytes` carries the fleet's *current* total
+/// RSS and `peak_rss_bytes` the summed per-process peaks.
+pub struct FleetPublisher {
+    publisher: Publisher,
+    config: String,
+    workload: String,
+    machine: String,
+    publish_every: u64,
+    seq: u64,
+}
+
+/// Per-tenant aggregates as `tenant.<name>.*` registry counters.
+fn tenant_counters(reg: &mut Registry, tenants: &[TenantStats]) {
+    for t in tenants {
+        let mut add = |field: &str, v: u64| {
+            reg.counter_add(&format!("tenant.{}.{field}", t.name), v);
+        };
+        add("nr_processes", t.nr_processes as u64);
+        add("rss_bytes", t.total_rss);
+        add("peak_rss_bytes", t.peak_rss);
+        add("interference_ns", t.interference_ns);
+        add("major_faults", t.major_faults);
+        add("swapouts", t.swapouts);
+    }
+}
+
+impl FleetPublisher {
+    /// Observer publishing through `publisher` under the given fleet
+    /// identity, once per `publish_every` ticks (min 1).
+    pub fn new(
+        publisher: Publisher,
+        config: &str,
+        workload: &str,
+        machine: &str,
+        publish_every: u64,
+    ) -> FleetPublisher {
+        FleetPublisher {
+            publisher,
+            config: config.to_string(),
+            workload: workload.to_string(),
+            machine: machine.to_string(),
+            publish_every: publish_every.max(1),
+            seq: 0,
+        }
+    }
+
+    fn build(&mut self, p: &FleetProgress, finished: bool) -> ObsSnapshot {
+        self.seq += 1;
+        let mut registry = Registry::new();
+        registry.counter_add("fleet.nr_processes", p.nr_processes as u64);
+        registry.counter_add("fleet.monitor_work_ns", p.monitor_work_ns);
+        registry.counter_add("fleet.dropped_events", p.dropped_events);
+        tenant_counters(&mut registry, &p.tenants);
+        let total_rss: u64 = p.tenants.iter().map(|t| t.total_rss).sum();
+        let total_peak: u64 = p.tenants.iter().map(|t| t.peak_rss).sum();
+        ObsSnapshot {
+            seq: self.seq,
+            config: self.config.clone(),
+            workload: self.workload.clone(),
+            machine: self.machine.clone(),
+            epoch: p.tick,
+            nr_epochs: p.nr_ticks,
+            now_ns: p.now_ns,
+            wss_bytes: 0,
+            peak_rss_bytes: total_peak,
+            avg_rss_bytes: total_rss,
+            last_window: None,
+            schemes: Vec::new(),
+            overhead: None,
+            registry,
+            dropped_events: p.dropped_events,
+            finished,
+        }
+    }
+
+    /// Publish the end-of-run snapshot from the [`FleetSummary`] and
+    /// mark the publisher finished.
+    pub fn finalize(&mut self, summary: &FleetSummary) {
+        self.seq += 1;
+        let mut registry = Registry::new();
+        registry.counter_add("fleet.nr_processes", summary.nr_processes as u64);
+        registry.counter_add("fleet.nr_shards", summary.nr_shards as u64);
+        registry.counter_add("fleet.nr_workers", summary.nr_workers as u64);
+        registry.counter_add("fleet.ticks", summary.ticks);
+        registry.counter_add("fleet.monitor_work_ns", summary.monitor_work_ns);
+        registry.counter_add("fleet.monitor_total_checks", summary.monitor_total_checks);
+        registry.counter_add(
+            "fleet.overhead_per_process_ns",
+            summary.overhead_per_process_ns(),
+        );
+        registry.counter_add("fleet.effective_max_regions", summary.effective_max_regions as u64);
+        registry.counter_add("fleet.steals", summary.steals);
+        registry.counter_add("fleet.dropped_events", summary.total_dropped());
+        tenant_counters(&mut registry, &summary.tenants);
+        let snap = ObsSnapshot {
+            seq: self.seq,
+            config: self.config.clone(),
+            workload: self.workload.clone(),
+            machine: self.machine.clone(),
+            epoch: summary.ticks.saturating_sub(1),
+            nr_epochs: summary.ticks,
+            now_ns: summary.runtime_ns,
+            wss_bytes: 0,
+            peak_rss_bytes: summary.total_peak_rss,
+            avg_rss_bytes: summary.total_avg_rss,
+            last_window: None,
+            schemes: Vec::new(),
+            overhead: None,
+            registry,
+            dropped_events: summary.total_dropped(),
+            finished: true,
+        };
+        self.publisher.publish(snap);
+        self.publisher.finish();
+    }
+}
+
+impl FleetObserver for FleetPublisher {
+    fn on_tick(&mut self, p: &FleetProgress) {
+        let due = p.tick % self.publish_every == 0 || p.tick + 1 == p.nr_ticks;
+        if !due {
+            return;
+        }
+        let snap = self.build(p, false);
+        self.publisher.publish(snap);
+    }
 }
 
 #[cfg(test)]

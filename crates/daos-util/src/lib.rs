@@ -19,8 +19,13 @@
 //!   count, failing seed printed, simple halving shrink).
 //! * [`bench`] — a median-of-N wall-clock timing harness for the bench
 //!   binaries.
+//! * [`pool`] — the workspace's single worker pool: a work-stealing
+//!   scheduler with a persistent-thread frontend ([`pool::WorkerPool`],
+//!   driving the fleet engine's shard ticks) and a scoped map frontend
+//!   ([`pool::par_map`], driving the figure sweeps).
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;

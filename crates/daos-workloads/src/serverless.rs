@@ -49,6 +49,28 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// One worker process as a [`crate::WorkloadSpec`]: a mostly-idle
+    /// heap of `worker_footprint` bytes whose request path touches only
+    /// `working_frac` of it. The fleet engine replicates this spec per
+    /// process (each with its own seed), which is how the §4.4 service
+    /// scales past the in-process [`ServerlessFleet`] model.
+    pub fn worker_spec(&self, nr_epochs: u64) -> crate::WorkloadSpec {
+        crate::WorkloadSpec {
+            name: "serverless",
+            suite: crate::Suite::Fleet,
+            footprint: self.worker_footprint,
+            nr_epochs,
+            compute_ns: self.compute_ns,
+            behavior: crate::Behavior::MostlyIdle {
+                active_frac: self.working_frac,
+                apc: self.apc,
+                stray_prob: self.stray_prob,
+            },
+        }
+    }
+}
+
 /// A running serverless fleet.
 #[derive(Debug)]
 pub struct ServerlessFleet {

@@ -15,22 +15,27 @@ pub enum Suite {
     Parsec3,
     /// Splash-2x.
     Splash2x,
+    /// The §4.4 production serverless fleet (one spec per worker
+    /// process, replicated by the fleet engine).
+    Fleet,
 }
 
 impl Suite {
-    /// The paper's plot prefix (`P/` or `S/`).
+    /// The paper's plot prefix (`P/`, `S/` or `F/`).
     pub fn prefix(&self) -> &'static str {
         match self {
             Suite::Parsec3 => "P/",
             Suite::Splash2x => "S/",
+            Suite::Fleet => "F/",
         }
     }
 
-    /// The suite's lowercase path name (`parsec3` / `splash2x`).
+    /// The suite's lowercase path name (`parsec3` / `splash2x` / `fleet`).
     pub fn path(&self) -> &'static str {
         match self {
             Suite::Parsec3 => "parsec3",
             Suite::Splash2x => "splash2x",
+            Suite::Fleet => "fleet",
         }
     }
 }
@@ -188,7 +193,7 @@ mod tests {
 
 use daos_util::json::{self, FromJson, Json, JsonError, ToJson};
 
-daos_util::json_enum!(Suite { Parsec3, Splash2x });
+daos_util::json_enum!(Suite { Parsec3, Splash2x, Fleet });
 
 impl ToJson for Behavior {
     fn to_json(&self) -> Json {

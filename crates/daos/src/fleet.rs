@@ -1,0 +1,819 @@
+//! The sharded, work-stealing fleet engine: one monitoring plane over
+//! thousands of processes.
+//!
+//! The paper's north star is "heavy traffic from millions of users" —
+//! one data-access-aware core driving many workloads cheaply. A
+//! [`FleetSpec`] partitions `nr_processes` identical workloads into
+//! **shards** of `procs_per_shard`, each shard a self-contained
+//! [`MemorySystem`] with its own deterministic clock and seed stream.
+//! Every simulation tick, each shard advances every resident process by
+//! one epoch through the *same three phase functions the single-process
+//! runner uses* ([`crate::runner`]): a fleet of one process executes the
+//! exact instruction sequence of [`crate::run`], which the N=1
+//! equivalence test pins.
+//!
+//! Shard ticks are distributed over the workspace worker pool
+//! ([`daos_util::pool::WorkerPool`], a work-stealing scheduler), with a
+//! barrier per tick so results never depend on worker count — only
+//! `steals` in the summary varies. Single-shard (or single-worker)
+//! fleets run inline on the caller thread, so a thread-local trace
+//! collector observes them exactly like a single run.
+//!
+//! Monitoring cost stays **sub-linear in fleet size** through a global
+//! region budget: each process's `max_nr_regions` is
+//! `clamp(region_budget / nr_processes, min_nr_regions,
+//! max_nr_regions)`. DAMON's overhead is bounded by the region count,
+//! not the footprint, so capping total regions caps total overhead —
+//! per-process overhead *falls* as the fleet grows (the
+//! `overhead_per_process_ns()` line in the summary).
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use daos_mm::access::AccessBatch;
+use daos_mm::clock::Ns;
+use daos_mm::error::{MmError, MmResult};
+use daos_mm::machine::MachineProfile;
+use daos_mm::process::Pid;
+use daos_mm::system::MemorySystem;
+use daos_monitor::{Aggregation, MonitorAttrs, MonitorRecord};
+use daos_schemes::{SchemeTarget, SchemesEngine};
+use daos_trace::Collector;
+use daos_util::pool::WorkerPool;
+use daos_workloads::{instantiate, SyntheticWorkload, Workload, WorkloadSpec};
+
+use crate::config::{MonitorKind, RunConfig};
+use crate::runner::{
+    build_monitor, khugepaged_phase, monitor_phase, workload_phase, AnyMonitor, RunResult,
+    KHUGEPAGED_INTERVAL,
+};
+
+/// Recover a mutex guard from a poisoned lock: shard state stays
+/// consistent across a worker panic because every tick either completes
+/// or its error propagates before results are read.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How to scale one run into a fleet. Built with
+/// [`FleetSpec::new`]`(nr_processes)` plus chained setters;
+/// [`crate::Session::fleet`] consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Total worker processes (clamped to ≥ 1).
+    pub nr_processes: usize,
+    /// Processes per shard (per simulated machine; clamped to ≥ 1).
+    pub procs_per_shard: usize,
+    /// Worker threads ticking shards; 0 = auto (one per CPU, capped).
+    pub nr_workers: usize,
+    /// Tenant label families published per fleet (clamped to ≥ 1);
+    /// process `p` belongs to tenant `p % nr_tenants`, named `t<i>`.
+    pub nr_tenants: usize,
+    /// Global monitoring-region budget across the whole fleet;
+    /// 0 = auto (64 × the config's `max_nr_regions`).
+    pub region_budget: usize,
+    /// Per-shard trace collectors with this ring capacity, enabling the
+    /// per-process dropped-event accounting in the summary.
+    pub trace_ring: Option<usize>,
+}
+
+impl FleetSpec {
+    /// A fleet of `nr_processes` with the defaults: 32 processes per
+    /// shard, auto workers, one tenant, auto region budget, no tracing.
+    pub fn new(nr_processes: usize) -> Self {
+        Self {
+            nr_processes: nr_processes.max(1),
+            procs_per_shard: 32,
+            nr_workers: 0,
+            nr_tenants: 1,
+            region_budget: 0,
+            trace_ring: None,
+        }
+    }
+
+    /// Processes per shard (one shard = one simulated machine).
+    pub fn shard_size(mut self, n: usize) -> Self {
+        self.procs_per_shard = n.max(1);
+        self
+    }
+
+    /// Worker threads (0 = auto).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.nr_workers = n;
+        self
+    }
+
+    /// Tenant count for the per-tenant label families.
+    pub fn tenants(mut self, n: usize) -> Self {
+        self.nr_tenants = n.max(1);
+        self
+    }
+
+    /// Global region budget (0 = auto).
+    pub fn budget(mut self, regions: usize) -> Self {
+        self.region_budget = regions;
+        self
+    }
+
+    /// Enable per-shard trace collectors with ring capacity `cap`.
+    pub fn trace_ring(mut self, cap: usize) -> Self {
+        self.trace_ring = Some(cap);
+        self
+    }
+
+    /// Number of shards this spec partitions into.
+    pub fn nr_shards(&self) -> usize {
+        self.nr_processes.div_ceil(self.procs_per_shard)
+    }
+
+    /// The tenant index of global process `p`.
+    pub fn tenant_of(&self, p: usize) -> usize {
+        p % self.nr_tenants
+    }
+
+    /// Per-process monitoring attributes under the global region budget:
+    /// `max_nr_regions` becomes `clamp(budget / nr_processes,
+    /// min_nr_regions, max_nr_regions)`. With the auto budget
+    /// (64 × `max_nr_regions`) a fleet of ≤ 64 processes runs unchanged
+    /// — in particular N=1, preserving single-run equivalence.
+    pub fn effective_attrs(&self, base: &MonitorAttrs) -> MonitorAttrs {
+        let budget = if self.region_budget == 0 {
+            64 * base.max_nr_regions
+        } else {
+            self.region_budget
+        };
+        let per = budget / self.nr_processes.max(1);
+        let mut attrs = *base;
+        attrs.max_nr_regions = per.clamp(base.min_nr_regions, base.max_nr_regions);
+        attrs
+    }
+}
+
+/// Per-tenant aggregates, published as `tenant.<i>.*` label families.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name (`t0`, `t1`, ...).
+    pub name: String,
+    /// Processes in this tenant.
+    pub nr_processes: usize,
+    /// Current total resident bytes.
+    pub total_rss: u64,
+    /// Sum of per-process peak RSS, bytes.
+    pub peak_rss: u64,
+    /// Total monitoring/scheme interference charged, ns.
+    pub interference_ns: Ns,
+    /// Total major faults.
+    pub major_faults: u64,
+    /// Total pages swapped out.
+    pub swapouts: u64,
+}
+
+/// Live fleet progress handed to a [`FleetObserver`] after every tick.
+#[derive(Debug, Clone)]
+pub struct FleetProgress {
+    /// Tick just completed (0-based).
+    pub tick: u64,
+    /// Total ticks the fleet will execute.
+    pub nr_ticks: u64,
+    /// Virtual clock of the furthest shard.
+    pub now_ns: Ns,
+    /// Total processes.
+    pub nr_processes: usize,
+    /// Total monitor CPU work so far, ns.
+    pub monitor_work_ns: Ns,
+    /// Total trace events dropped so far (all shards).
+    pub dropped_events: u64,
+    /// Per-tenant aggregates.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Hook into a live fleet: called once per tick, on the driver thread.
+/// Throttle internally if publishing is expensive.
+pub trait FleetObserver {
+    /// One fleet tick (one epoch across every process) finished.
+    fn on_tick(&mut self, progress: &FleetProgress);
+}
+
+/// Everything a fleet run produced, beyond the per-process
+/// [`RunResult`]s. `render()` formats the human-readable summary the
+/// `daos fleet` subcommand prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Total worker processes.
+    pub nr_processes: usize,
+    /// Shards (simulated machines).
+    pub nr_shards: usize,
+    /// Worker threads that ticked the shards (1 = inline).
+    pub nr_workers: usize,
+    /// Tenant label families.
+    pub nr_tenants: usize,
+    /// Ticks executed (= epochs per process).
+    pub ticks: u64,
+    /// Virtual runtime of the slowest shard.
+    pub runtime_ns: Ns,
+    /// Sum of time-weighted average RSS across processes.
+    pub total_avg_rss: u64,
+    /// Sum of peak RSS across processes.
+    pub total_peak_rss: u64,
+    /// Total monitor CPU work across all monitoring contexts, ns.
+    pub monitor_work_ns: Ns,
+    /// Total access checks performed by all monitors.
+    pub monitor_total_checks: u64,
+    /// The per-process `max_nr_regions` after budget division.
+    pub effective_max_regions: usize,
+    /// Trace events dropped per process (global process index; empty
+    /// without `trace_ring`). Per-process counts, not a deduplicated
+    /// once-per-run warning: every process's loss is visible.
+    pub dropped_events: Vec<u64>,
+    /// Work-stealing steals across the run (0 when inline; varies with
+    /// thread timing — excluded from determinism comparisons).
+    pub steals: u64,
+    /// Per-tenant aggregates at end of run.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl FleetSummary {
+    /// Monitor CPU work per process — the sub-linearity headline: with
+    /// the region budget active this *falls* as the fleet grows.
+    pub fn overhead_per_process_ns(&self) -> Ns {
+        self.monitor_work_ns / self.nr_processes.max(1) as u64
+    }
+
+    /// Total dropped trace events across the fleet.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_events.iter().sum()
+    }
+
+    /// Human-readable multi-line summary (the library never prints; the
+    /// CLI does).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet    {} procs in {} shards ({} max/shard) on {} worker{}, {} tenant{}\n",
+            self.nr_processes,
+            self.nr_shards,
+            self.nr_processes.div_ceil(self.nr_shards.max(1)),
+            self.nr_workers,
+            if self.nr_workers == 1 { "" } else { "s" },
+            self.nr_tenants,
+            if self.nr_tenants == 1 { "" } else { "s" },
+        ));
+        out.push_str(&format!(
+            "time     {} ticks, {:.3} s virtual runtime\n",
+            self.ticks,
+            self.runtime_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "memory   avg rss {}, peak rss {}\n",
+            fmt_bytes(self.total_avg_rss),
+            fmt_bytes(self.total_peak_rss)
+        ));
+        out.push_str(&format!(
+            "monitor  {:.3} ms work, {} checks, {} max regions/proc, {} ns/proc\n",
+            self.monitor_work_ns as f64 / 1e6,
+            self.monitor_total_checks,
+            self.effective_max_regions,
+            self.overhead_per_process_ns()
+        ));
+        if self.steals > 0 {
+            out.push_str(&format!("pool     {} steals\n", self.steals));
+        }
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tenant   {}: {} procs, rss {}, peak {}, {} majfaults, {} swapouts\n",
+                t.name,
+                t.nr_processes,
+                fmt_bytes(t.total_rss),
+                fmt_bytes(t.peak_rss),
+                t.major_faults,
+                t.swapouts
+            ));
+        }
+        if !self.dropped_events.is_empty() {
+            let lossy: Vec<(usize, u64)> = self
+                .dropped_events
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d > 0)
+                .map(|(p, &d)| (p, d))
+                .collect();
+            if lossy.is_empty() {
+                out.push_str("trace    no ring overflows\n");
+            } else {
+                out.push_str(&format!(
+                    "trace    {} events dropped across {} procs:",
+                    self.total_dropped(),
+                    lossy.len()
+                ));
+                for (i, (p, d)) in lossy.iter().enumerate() {
+                    if i == 16 {
+                        out.push_str(&format!(" … +{} more", lossy.len() - 16));
+                        break;
+                    }
+                    out.push_str(&format!(" p{p}:{d}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [(&str, u64); 4] =
+        [("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10), ("B", 1)];
+    for (name, scale) in UNITS {
+        if b >= scale {
+            return format!("{:.1} {name}", b as f64 / scale as f64);
+        }
+    }
+    "0 B".to_string()
+}
+
+/// One worker process resident in a shard.
+struct Proc {
+    pid: Pid,
+    global_idx: usize,
+    wl: SyntheticWorkload,
+    /// Per-process monitor (vaddr configurations).
+    monitor: Option<AnyMonitor>,
+    /// Per-process schemes engine (vaddr configurations).
+    engine: Option<SchemesEngine>,
+    record: Option<MonitorRecord>,
+    next_khugepaged: Ns,
+    dropped_events: u64,
+}
+
+/// One shard: a self-contained simulated machine hosting a slice of the
+/// fleet. All per-tick mutation is confined here, so shards tick in
+/// parallel with no shared state beyond the task queue.
+struct Shard {
+    sys: MemorySystem,
+    procs: Vec<Proc>,
+    /// Shard-wide monitor/engine/record (paddr configurations monitor
+    /// the whole machine at once — the batched-application path).
+    shard_monitor: Option<AnyMonitor>,
+    shard_engine: Option<SchemesEngine>,
+    shard_record: Option<MonitorRecord>,
+    sink: Vec<Aggregation>,
+    batches: Vec<AccessBatch>,
+    scratch_window: Option<Aggregation>,
+    cpu_scale: f64,
+    khugepaged: bool,
+    paddr: bool,
+    /// Shard-owned trace collector (`FleetSpec::trace_ring`), installed
+    /// thread-locally for the duration of each tick.
+    collector: Option<Collector>,
+}
+
+/// Current dropped-event count of the thread's installed collector.
+fn dropped_now(tracing: bool) -> u64 {
+    if tracing {
+        daos_trace::ring_status().map_or(0, |(_, dropped, _)| dropped)
+    } else {
+        0
+    }
+}
+
+impl Shard {
+    fn build(
+        machine: &MachineProfile,
+        config: &RunConfig,
+        spec: &WorkloadSpec,
+        fleet: &FleetSpec,
+        seed: u64,
+        shard_idx: usize,
+        proc_range: std::ops::Range<usize>,
+    ) -> MmResult<Shard> {
+        let shard_seed = seed ^ ((shard_idx as u64) << 21);
+        let mut sys = MemorySystem::new(machine.clone(), config.swap, shard_seed);
+        let attrs = fleet.effective_attrs(&config.attrs);
+        let paddr = config.monitor == Some(MonitorKind::Paddr);
+        let mut procs = Vec::with_capacity(proc_range.len());
+        for p in proc_range {
+            let wl_seed = seed ^ ((p as u64) << 17);
+            let mut wl = instantiate(*spec, wl_seed);
+            let pid = wl.setup(&mut sys, config.thp)?;
+            let monitor = if paddr {
+                None
+            } else {
+                build_monitor(config.monitor, attrs, &sys, pid, wl_seed)
+            };
+            let engine = (!paddr && !config.schemes.is_empty()).then(|| {
+                SchemesEngine::new(SchemeTarget::Virtual(pid), config.schemes.clone())
+            });
+            let record = (!paddr && config.record).then(MonitorRecord::new);
+            procs.push(Proc {
+                pid,
+                global_idx: p,
+                wl,
+                monitor,
+                engine,
+                record,
+                next_khugepaged: KHUGEPAGED_INTERVAL,
+                dropped_events: 0,
+            });
+        }
+        let lead = procs.first().map(|p| p.pid);
+        let shard_monitor = match lead {
+            Some(pid) if paddr => build_monitor(config.monitor, attrs, &sys, pid, shard_seed),
+            _ => None,
+        };
+        let shard_engine = (paddr && !config.schemes.is_empty())
+            .then(|| SchemesEngine::new(SchemeTarget::Physical, config.schemes.clone()));
+        let shard_record = (paddr && config.record).then(MonitorRecord::new);
+        // Ring capacity clamped to ≥ 1 so the builder cannot fail.
+        let collector = fleet
+            .trace_ring
+            .and_then(|cap| Collector::builder().ring_capacity(cap.max(1)).build().ok());
+        Ok(Shard {
+            sys,
+            procs,
+            shard_monitor,
+            shard_engine,
+            shard_record,
+            sink: Vec::new(),
+            batches: Vec::new(),
+            scratch_window: None,
+            cpu_scale: 3.0 / machine.cpu_ghz,
+            khugepaged: config.khugepaged,
+            paddr,
+            collector,
+        })
+    }
+
+    /// Advance every resident process by one epoch. With a shard
+    /// collector, install it thread-locally for the tick (skipped if the
+    /// thread already carries one — e.g. a caller-installed collector on
+    /// the inline path keeps precedence) and attribute ring-drop deltas
+    /// to the process whose phases produced them.
+    fn tick(&mut self, idx: u64) -> MmResult<()> {
+        let mut tracing = false;
+        if self.collector.is_some() && daos_trace::with_collector(|_| ()).is_none() {
+            if let Some(col) = self.collector.take() {
+                tracing = daos_trace::install(col).is_ok();
+            }
+        }
+        let result = self.tick_inner(idx, tracing);
+        if tracing {
+            self.collector = daos_trace::take();
+        }
+        result
+    }
+
+    fn tick_inner(&mut self, idx: u64, tracing: bool) -> MmResult<()> {
+        if self.paddr {
+            // All workloads run, then the shard-wide monitor sweeps the
+            // whole machine once and the engine applies schemes across
+            // every process in one batch.
+            for p in &mut self.procs {
+                let before = dropped_now(tracing);
+                workload_phase(
+                    &mut self.sys,
+                    p.pid,
+                    &mut p.wl,
+                    idx,
+                    self.cpu_scale,
+                    &mut self.batches,
+                )?;
+                p.dropped_events += dropped_now(tracing).saturating_sub(before);
+            }
+            if let Some(lead) = self.procs.first().map(|p| p.pid) {
+                monitor_phase(
+                    &mut self.sys,
+                    lead,
+                    &mut self.shard_monitor,
+                    &mut self.shard_engine,
+                    &mut self.shard_record,
+                    &mut self.sink,
+                    &mut self.scratch_window,
+                    false,
+                );
+            }
+            for p in &mut self.procs {
+                khugepaged_phase(&mut self.sys, p.pid, self.khugepaged, &mut p.next_khugepaged)?;
+            }
+        } else {
+            // Per-process pipeline, identical to the single runner's
+            // epoch sequence — the N=1 equivalence hinge.
+            for p in &mut self.procs {
+                let before = dropped_now(tracing);
+                workload_phase(
+                    &mut self.sys,
+                    p.pid,
+                    &mut p.wl,
+                    idx,
+                    self.cpu_scale,
+                    &mut self.batches,
+                )?;
+                monitor_phase(
+                    &mut self.sys,
+                    p.pid,
+                    &mut p.monitor,
+                    &mut p.engine,
+                    &mut p.record,
+                    &mut self.sink,
+                    &mut self.scratch_window,
+                    false,
+                );
+                khugepaged_phase(&mut self.sys, p.pid, self.khugepaged, &mut p.next_khugepaged)?;
+                p.dropped_events += dropped_now(tracing).saturating_sub(before);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total monitor CPU work accumulated in this shard, ns, plus total
+    /// access checks.
+    fn monitor_totals(&self) -> (Ns, u64) {
+        let mut work = 0;
+        let mut checks = 0;
+        for m in self
+            .procs
+            .iter()
+            .filter_map(|p| p.monitor.as_ref())
+            .chain(self.shard_monitor.as_ref())
+        {
+            let o = m.overhead();
+            work += o.work_ns;
+            checks += o.total_checks;
+        }
+        (work, checks)
+    }
+}
+
+/// The fleet engine: builds the shards, ticks them (inline or over the
+/// worker pool) and assembles per-process [`RunResult`]s plus the
+/// [`FleetSummary`]. Normally driven via [`crate::Session`]; the bench
+/// harness drives [`tick`](Self::tick) directly to time it.
+pub struct FleetEngine {
+    shards: Vec<Arc<Mutex<Shard>>>,
+    pool: Option<WorkerPool>,
+    spec: FleetSpec,
+    config_name: String,
+    workload_name: String,
+    machine_name: String,
+    nr_ticks: u64,
+    tick: u64,
+    effective_max_regions: usize,
+}
+
+impl FleetEngine {
+    /// Build the fleet: partition processes into shards and set up every
+    /// workload. Shard construction runs over the pool when one is
+    /// warranted (more than one shard and more than one worker).
+    pub fn new(
+        machine: &MachineProfile,
+        config: &RunConfig,
+        spec: &WorkloadSpec,
+        fleet: FleetSpec,
+        seed: u64,
+    ) -> MmResult<FleetEngine> {
+        let nr_shards = fleet.nr_shards();
+        let pool = (nr_shards > 1 && fleet.nr_workers != 1)
+            .then(|| WorkerPool::new(fleet.nr_workers));
+        let ranges: Vec<(usize, std::ops::Range<usize>)> = (0..nr_shards)
+            .map(|s| {
+                let lo = s * fleet.procs_per_shard;
+                let hi = ((s + 1) * fleet.procs_per_shard).min(fleet.nr_processes);
+                (s, lo..hi)
+            })
+            .collect();
+        let shards: Vec<MmResult<Shard>> = match &pool {
+            Some(pool) => {
+                let tasks: Vec<_> = ranges
+                    .into_iter()
+                    .map(|(s, range)| {
+                        let machine = machine.clone();
+                        let config = config.clone();
+                        let spec = *spec;
+                        let fleet = fleet.clone();
+                        move || Shard::build(&machine, &config, &spec, &fleet, seed, s, range)
+                    })
+                    .collect();
+                pool.run_batch(tasks)
+            }
+            None => ranges
+                .into_iter()
+                .map(|(s, range)| Shard::build(machine, config, spec, &fleet, seed, s, range))
+                .collect(),
+        };
+        let mut built = Vec::with_capacity(nr_shards);
+        for shard in shards {
+            built.push(Arc::new(Mutex::new(shard?)));
+        }
+        let effective_max_regions = fleet.effective_attrs(&config.attrs).max_nr_regions;
+        let nr_ticks = spec.nr_epochs;
+        let workload_name = built
+            .first()
+            .and_then(|s| lock(s).procs.first().map(|p| p.wl.name()))
+            .unwrap_or_else(|| spec.name.to_string());
+        Ok(FleetEngine {
+            shards: built,
+            pool,
+            spec: fleet,
+            config_name: config.name.clone(),
+            workload_name,
+            machine_name: machine.name.clone(),
+            nr_ticks,
+            tick: 0,
+            effective_max_regions,
+        })
+    }
+
+    /// The fleet spec this engine runs.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Display name of the replicated workload.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Ticks the full run will execute (the workload's epoch count).
+    pub fn nr_ticks(&self) -> u64 {
+        self.nr_ticks
+    }
+
+    /// Advance every process in the fleet by one epoch. With a pool,
+    /// shard ticks are distributed work-stealing with a barrier at the
+    /// end; otherwise they run inline on the caller thread (which keeps
+    /// a caller-installed trace collector observing a 1-shard fleet).
+    pub fn tick(&mut self) -> MmResult<()> {
+        let idx = self.tick;
+        match &self.pool {
+            Some(pool) => {
+                let tasks: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|sh| {
+                        let sh = Arc::clone(sh);
+                        move || lock(&sh).tick(idx)
+                    })
+                    .collect();
+                for r in pool.run_batch(tasks) {
+                    r?;
+                }
+            }
+            None => {
+                for sh in &self.shards {
+                    lock(sh).tick(idx)?;
+                }
+            }
+        }
+        self.tick += 1;
+        Ok(())
+    }
+
+    /// Run all remaining ticks, reporting to `observer` after each.
+    pub fn run(&mut self, mut observer: Option<&mut dyn FleetObserver>) -> MmResult<()> {
+        while self.tick < self.nr_ticks {
+            self.tick()?;
+            if let Some(obs) = observer.as_deref_mut() {
+                let progress = self.progress();
+                obs.on_tick(&progress);
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate the current fleet state (locks every shard — cheap per
+    /// shard, linear in fleet size; observers throttle upstream).
+    pub fn progress(&self) -> FleetProgress {
+        let mut tenants = self.empty_tenants();
+        let mut now_ns = 0;
+        let mut monitor_work_ns = 0;
+        let mut dropped = 0;
+        for sh in &self.shards {
+            let sh = lock(sh);
+            now_ns = now_ns.max(sh.sys.now());
+            monitor_work_ns += sh.monitor_totals().0;
+            for p in &sh.procs {
+                dropped += p.dropped_events;
+                let t = &mut tenants[self.spec.tenant_of(p.global_idx)];
+                t.nr_processes += 1;
+                t.total_rss += sh.sys.rss_bytes(p.pid);
+                if let Some(st) = sh.sys.proc_stats(p.pid) {
+                    t.peak_rss += st.peak_rss_bytes;
+                    t.interference_ns += st.monitor_interference_ns;
+                    t.major_faults += st.major_faults;
+                    t.swapouts += st.swapouts;
+                }
+            }
+        }
+        FleetProgress {
+            tick: self.tick.saturating_sub(1),
+            nr_ticks: self.nr_ticks,
+            now_ns,
+            nr_processes: self.spec.nr_processes,
+            monitor_work_ns,
+            dropped_events: dropped,
+            tenants,
+        }
+    }
+
+    fn empty_tenants(&self) -> Vec<TenantStats> {
+        (0..self.spec.nr_tenants)
+            .map(|i| TenantStats { name: format!("t{i}"), ..TenantStats::default() })
+            .collect()
+    }
+
+    /// Consume the engine: per-process [`RunResult`]s (in global process
+    /// order) plus the fleet summary. Shard-level state (kstats, paddr
+    /// monitor/engine/record) is attributed to the shard's first
+    /// process, which at one process per fleet is *the* process — the
+    /// equivalence pin.
+    pub fn finish(self) -> MmResult<(Vec<RunResult>, FleetSummary)> {
+        let mut runs = Vec::with_capacity(self.spec.nr_processes);
+        let mut tenants = self.empty_tenants();
+        let mut runtime_ns = 0;
+        let mut monitor_work_ns = 0;
+        let mut monitor_total_checks = 0;
+        let mut total_avg_rss = 0;
+        let mut total_peak_rss = 0;
+        let mut dropped_events = self
+            .spec
+            .trace_ring
+            .map(|_| vec![0u64; self.spec.nr_processes])
+            .unwrap_or_default();
+        for sh in &self.shards {
+            let mut sh = lock(sh);
+            let shard_runtime = sh.sys.now();
+            runtime_ns = runtime_ns.max(shard_runtime);
+            let (work, checks) = sh.monitor_totals();
+            monitor_work_ns += work;
+            monitor_total_checks += checks;
+            let kstats = sh.sys.kstats;
+            let shard_scheme_stats = sh
+                .shard_engine
+                .take()
+                .map(|e| e.stats().to_vec())
+                .unwrap_or_default();
+            let mut shard_record = sh.shard_record.take();
+            let shard_overhead = sh.shard_monitor.as_ref().map(|m| m.overhead());
+            let Shard { ref sys, ref mut procs, .. } = *sh;
+            for (i, p) in procs.iter_mut().enumerate() {
+                let stats =
+                    *sys.proc_stats(p.pid).ok_or(MmError::NoSuchProcess(p.pid))?;
+                let overhead =
+                    p.monitor.as_ref().map(|m| m.overhead()).or(if i == 0 {
+                        shard_overhead
+                    } else {
+                        None
+                    });
+                let scheme_stats = match p.engine.take() {
+                    Some(e) => e.stats().to_vec(),
+                    None if i == 0 => shard_scheme_stats.clone(),
+                    None => Vec::new(),
+                };
+                let record =
+                    p.record.take().or(if i == 0 { shard_record.take() } else { None });
+                let avg_rss = stats.avg_rss_bytes(shard_runtime);
+                total_avg_rss += avg_rss;
+                total_peak_rss += stats.peak_rss_bytes;
+                if let Some(d) = dropped_events.get_mut(p.global_idx) {
+                    *d = p.dropped_events;
+                }
+                let t = &mut tenants[self.spec.tenant_of(p.global_idx)];
+                t.nr_processes += 1;
+                t.total_rss += sys.rss_bytes(p.pid);
+                t.peak_rss += stats.peak_rss_bytes;
+                t.interference_ns += stats.monitor_interference_ns;
+                t.major_faults += stats.major_faults;
+                t.swapouts += stats.swapouts;
+                runs.push(RunResult {
+                    config: self.config_name.clone(),
+                    workload: p.wl.name(),
+                    machine: self.machine_name.clone(),
+                    runtime_ns: shard_runtime,
+                    avg_rss,
+                    peak_rss: stats.peak_rss_bytes,
+                    stats,
+                    kstats,
+                    record,
+                    overhead,
+                    scheme_stats,
+                });
+            }
+        }
+        let nr_workers = self.pool.as_ref().map_or(1, |p| p.nr_workers());
+        let steals = self.pool.as_ref().map_or(0, |p| p.stats().steals);
+        let summary = FleetSummary {
+            nr_processes: self.spec.nr_processes,
+            nr_shards: self.shards.len(),
+            nr_workers,
+            nr_tenants: self.spec.nr_tenants,
+            ticks: self.tick,
+            runtime_ns,
+            total_avg_rss,
+            total_peak_rss,
+            monitor_work_ns,
+            monitor_total_checks,
+            effective_max_regions: self.effective_max_regions,
+            dropped_events,
+            steals,
+            tenants,
+        };
+        Ok((runs, summary))
+    }
+}

@@ -7,35 +7,51 @@
 //!
 //! * the six evaluation configurations (baseline / rec / prec / thp /
 //!   ethp / prcl) as [`config::RunConfig`];
-//! * the experiment [`runner`] executing one workload under one
-//!   configuration on one machine profile;
+//! * the unified [`Session`] entry point executing one workload under
+//!   one configuration on one machine profile — or, with a
+//!   [`FleetSpec`], replicated across thousands of processes under the
+//!   sharded work-stealing [`fleet`] engine (the [`runner`]'s
+//!   `run`/`run_observed` remain as deprecated shims);
 //! * Fig. 6-style access-pattern [`heatmap`]s;
 //! * the normalised performance / memory-efficiency / score [`metrics`]
 //!   of Figures 4, 7 and 8.
 //!
 //! ```no_run
-//! use daos::{run, Normalized, RunConfig};
+//! use daos::{Normalized, RunConfig, Session};
 //! use daos_mm::MachineProfile;
 //! use daos_workloads::by_path;
 //!
 //! let machine = MachineProfile::i3_metal();
 //! let spec = by_path("parsec3/freqmine").unwrap();
-//! let base = run(&machine, &RunConfig::baseline(), &spec, 42).unwrap();
-//! let prcl = run(&machine, &RunConfig::prcl(), &spec, 42).unwrap();
+//! let base = Session::new(&machine, &RunConfig::baseline(), &spec)
+//!     .seed(42)
+//!     .execute()
+//!     .unwrap()
+//!     .into_single();
+//! let prcl = Session::new(&machine, &RunConfig::prcl(), &spec)
+//!     .seed(42)
+//!     .execute()
+//!     .unwrap()
+//!     .into_single();
 //! let n = Normalized::of(&base, &prcl);
 //! println!("memory saving: {:.1}%", n.memory_saving_pct());
 //! ```
 
 pub mod config;
 pub mod error;
+pub mod fleet;
 pub mod heatmap;
 pub mod metrics;
 pub mod multi;
 pub mod recordio;
 pub mod runner;
+pub mod session;
 
 pub use config::{MonitorKind, RunConfig, RunConfigBuilder};
 pub use error::DaosError;
+pub use fleet::{
+    FleetEngine, FleetObserver, FleetProgress, FleetSpec, FleetSummary, TenantStats,
+};
 pub use heatmap::{biggest_active_span, Heatmap};
 pub use metrics::{score_inputs, score_vs_baseline, Normalized};
 pub use multi::{MultiMonitor, TargetAggregation};
@@ -44,3 +60,4 @@ pub use recordio::{
     RECORD_HEADER,
 };
 pub use runner::{run, run_observed, RunObserver, RunProgress, RunResult};
+pub use session::{Session, SessionResult};

@@ -1,25 +1,34 @@
 //! The experiment runner: drive one workload under one configuration on
 //! one machine, with the monitor and schemes engine in the loop — the
 //! whole Fig. 1 workflow under a deterministic virtual clock.
+//!
+//! The per-epoch pipeline lives in three crate-internal phase functions
+//! ([`workload_phase`], [`monitor_phase`], [`khugepaged_phase`]) shared
+//! verbatim with the fleet engine ([`crate::fleet`]), so a fleet of one
+//! process executes the *same instruction sequence* as a single run —
+//! the cross-validation hinge the N=1 equivalence test pins.
 
+use daos_mm::access::AccessBatch;
 use daos_mm::clock::{sec, Ns};
 use daos_mm::error::{MmError, MmResult};
 use daos_mm::machine::MachineProfile;
+use daos_mm::process::Pid;
 use daos_mm::stats::{KernelStats, ProcStats};
 use daos_mm::system::MemorySystem;
 use daos_monitor::{
-    Aggregation, MonitorCtx, MonitorRecord, OverheadStats, PaddrPrimitives, VaddrPrimitives,
+    Aggregation, MonitorAttrs, MonitorCtx, MonitorRecord, OverheadStats, PaddrPrimitives,
+    VaddrPrimitives,
 };
 use daos_schemes::{SchemeTarget, SchemesEngine, SchemeStats};
-use daos_workloads::{instantiate, Workload, WorkloadSpec};
+use daos_workloads::{instantiate, SyntheticWorkload, Workload, WorkloadSpec};
 
 use crate::config::{MonitorKind, RunConfig};
 
 /// Interval of the background khugepaged promoter in the `thp` config.
-const KHUGEPAGED_INTERVAL: Ns = sec(1);
+pub(crate) const KHUGEPAGED_INTERVAL: Ns = sec(1);
 
 /// Everything one run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Configuration name.
     pub config: String,
@@ -87,7 +96,10 @@ pub trait RunObserver {
 }
 
 /// Monomorphised monitor wrapper so one runner handles both primitives.
-enum AnyMonitor {
+/// Crate-visible: the fleet engine wraps its per-process (vaddr) and
+/// per-shard (paddr) contexts in the same type so the shared phase
+/// functions drive both paths.
+pub(crate) enum AnyMonitor {
     Vaddr(MonitorCtx<VaddrPrimitives>),
     Paddr(MonitorCtx<PaddrPrimitives>),
 }
@@ -107,7 +119,7 @@ impl AnyMonitor {
         }
     }
 
-    fn overhead(&self) -> OverheadStats {
+    pub(crate) fn overhead(&self) -> OverheadStats {
         match self {
             AnyMonitor::Vaddr(ctx) => ctx.overhead,
             AnyMonitor::Paddr(ctx) => ctx.overhead,
@@ -115,15 +127,143 @@ impl AnyMonitor {
     }
 }
 
+/// Build the monitoring context `kind` describes, seeded with the
+/// runner's fixed monitor stream (`seed ^ 0xda05`). `attrs` is passed
+/// separately from the config because the fleet engine divides a global
+/// region budget across processes (see [`crate::fleet::FleetSpec`]).
+pub(crate) fn build_monitor(
+    kind: Option<MonitorKind>,
+    attrs: MonitorAttrs,
+    sys: &MemorySystem,
+    pid: Pid,
+    seed: u64,
+) -> Option<AnyMonitor> {
+    match kind {
+        Some(MonitorKind::Vaddr) => Some(AnyMonitor::Vaddr(MonitorCtx::new(
+            attrs,
+            VaddrPrimitives::new(pid),
+            sys,
+            sys.now(),
+            seed ^ 0xda05,
+        ))),
+        Some(MonitorKind::Paddr) => Some(AnyMonitor::Paddr(MonitorCtx::new(
+            attrs,
+            PaddrPrimitives,
+            sys,
+            sys.now(),
+            seed ^ 0xda05,
+        ))),
+        None => None,
+    }
+}
+
+/// Epoch phase 1: the workload runs one quantum and its access + compute
+/// cost advances the clock.
+pub(crate) fn workload_phase(
+    sys: &mut MemorySystem,
+    pid: Pid,
+    wl: &mut SyntheticWorkload,
+    idx: u64,
+    cpu_scale: f64,
+    batches: &mut Vec<AccessBatch>,
+) -> MmResult<()> {
+    batches.clear();
+    let compute_ref = wl.epoch(idx, sys.now(), batches);
+    let compute = (compute_ref as f64 * cpu_scale) as Ns;
+    let mut cost = compute;
+    for b in batches.iter() {
+        cost += sys.apply_access(pid, b)?.cost_ns;
+    }
+    if let Some(st) = sys.proc_stats_mut(pid) {
+        st.compute_ns += compute;
+    }
+    sys.advance(cost);
+    Ok(())
+}
+
+/// Epoch phases 2–3: the monitor catches up with virtual time and the
+/// engine consumes each completed aggregation, with all work charged as
+/// interference against `pid`. With `keep_last`, the freshest window is
+/// kept (cloned if it also goes into the record) for observers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn monitor_phase(
+    sys: &mut MemorySystem,
+    pid: Pid,
+    monitor: &mut Option<AnyMonitor>,
+    engine: &mut Option<SchemesEngine>,
+    record: &mut Option<MonitorRecord>,
+    sink: &mut Vec<Aggregation>,
+    last_window: &mut Option<Aggregation>,
+    keep_last: bool,
+) {
+    let Some(mon) = monitor else { return };
+    let now = sys.now();
+    mon.step(sys, now, sink);
+    let interference = sys.charge_monitor(mon.take_work_ns());
+    if interference > 0 {
+        if let Some(st) = sys.proc_stats_mut(pid) {
+            st.monitor_interference_ns += interference;
+        }
+        sys.advance(interference);
+    }
+    for agg in sink.drain(..) {
+        if let Some(engine) = engine {
+            let pass = engine.on_aggregation(sys, &agg);
+            let interference = sys.charge_schemes(pass.work_ns);
+            if interference > 0 {
+                if let Some(st) = sys.proc_stats_mut(pid) {
+                    st.monitor_interference_ns += interference;
+                }
+                sys.advance(interference);
+            }
+        }
+        match record {
+            Some(rec) => {
+                if keep_last {
+                    *last_window = Some(agg.clone());
+                }
+                rec.push(agg);
+            }
+            None if keep_last => *last_window = Some(agg),
+            None => {}
+        }
+    }
+}
+
+/// Epoch phase 4: Linux-original THP — aggressive background promotion.
+pub(crate) fn khugepaged_phase(
+    sys: &mut MemorySystem,
+    pid: Pid,
+    enabled: bool,
+    next_khugepaged: &mut Ns,
+) -> MmResult<()> {
+    if enabled && sys.now() >= *next_khugepaged {
+        let (_, ns) = sys.khugepaged_scan(pid, 1)?;
+        let interference = sys.charge_schemes(ns);
+        if let Some(st) = sys.proc_stats_mut(pid) {
+            st.stall_ns += interference;
+        }
+        sys.advance(interference);
+        *next_khugepaged = sys.now() + KHUGEPAGED_INTERVAL;
+    }
+    Ok(())
+}
+
 /// Run `spec` under `config` on `machine`. `seed` fixes all randomness
 /// (workload draws, monitor sampling, region splits).
+///
+/// **Deprecated entry point** — prefer
+/// [`Session`](crate::Session)::`new(machine, config, spec).seed(s).execute()`,
+/// which scales the same run from one process to a fleet (via
+/// [`FleetSpec`](crate::FleetSpec)). This shim stays for source
+/// compatibility and simply delegates.
 pub fn run(
     machine: &MachineProfile,
     config: &RunConfig,
     spec: &WorkloadSpec,
     seed: u64,
 ) -> MmResult<RunResult> {
-    run_observed(machine, config, spec, seed, None)
+    execute_single(machine, config, spec, seed, None)
 }
 
 /// [`run`], with an optional per-epoch [`RunObserver`]. With
@@ -131,7 +271,23 @@ pub fn run(
 /// built and no aggregation is cloned, so the unobserved sim loop stays
 /// allocation-identical to before the hook existed (the zero-overhead
 /// pin the obs-plane tests rely on).
+///
+/// **Deprecated entry point** — prefer
+/// [`Session`](crate::Session)::`new(...).seed(s).observer(o).execute()`.
+/// This shim stays for source compatibility and simply delegates.
 pub fn run_observed(
+    machine: &MachineProfile,
+    config: &RunConfig,
+    spec: &WorkloadSpec,
+    seed: u64,
+    observer: Option<&mut dyn RunObserver>,
+) -> MmResult<RunResult> {
+    execute_single(machine, config, spec, seed, observer)
+}
+
+/// The single-process engine behind [`run`] / [`run_observed`] and
+/// [`crate::Session::execute`].
+pub(crate) fn execute_single(
     machine: &MachineProfile,
     config: &RunConfig,
     spec: &WorkloadSpec,
@@ -142,23 +298,7 @@ pub fn run_observed(
     let mut wl = instantiate(*spec, seed);
     let pid = wl.setup(&mut sys, config.thp)?;
 
-    let mut monitor = match config.monitor {
-        Some(MonitorKind::Vaddr) => Some(AnyMonitor::Vaddr(MonitorCtx::new(
-            config.attrs,
-            VaddrPrimitives::new(pid),
-            &sys,
-            sys.now(),
-            seed ^ 0xda05,
-        ))),
-        Some(MonitorKind::Paddr) => Some(AnyMonitor::Paddr(MonitorCtx::new(
-            config.attrs,
-            PaddrPrimitives,
-            &sys,
-            sys.now(),
-            seed ^ 0xda05,
-        ))),
-        None => None,
-    };
+    let mut monitor = build_monitor(config.monitor, config.attrs, &sys, pid, seed);
     let mut engine = (!config.schemes.is_empty()).then(|| {
         let target = match config.monitor {
             Some(MonitorKind::Paddr) => SchemeTarget::Physical,
@@ -176,67 +316,20 @@ pub fn run_observed(
     let nr_epochs = wl.nr_epochs();
 
     for idx in 0..nr_epochs {
-        // 1. The workload runs one quantum.
-        batches.clear();
-        let compute_ref = wl.epoch(idx, sys.now(), &mut batches);
-        let compute = (compute_ref as f64 * cpu_scale) as Ns;
-        let mut cost = compute;
-        for b in &batches {
-            cost += sys.apply_access(pid, b)?.cost_ns;
-        }
-        if let Some(st) = sys.proc_stats_mut(pid) {
-            st.compute_ns += compute;
-        }
-        sys.advance(cost);
+        workload_phase(&mut sys, pid, &mut wl, idx, cpu_scale, &mut batches)?;
+        monitor_phase(
+            &mut sys,
+            pid,
+            &mut monitor,
+            &mut engine,
+            &mut record,
+            &mut sink,
+            &mut last_window,
+            observing,
+        );
+        khugepaged_phase(&mut sys, pid, config.khugepaged, &mut next_khugepaged)?;
 
-        // 2. The monitor catches up with virtual time.
-        if let Some(mon) = &mut monitor {
-            let now = sys.now();
-            mon.step(&mut sys, now, &mut sink);
-            let interference = sys.charge_monitor(mon.take_work_ns());
-            if interference > 0 {
-                if let Some(st) = sys.proc_stats_mut(pid) {
-                    st.monitor_interference_ns += interference;
-                }
-                sys.advance(interference);
-            }
-            // 3. The engine consumes each completed aggregation.
-            for agg in sink.drain(..) {
-                if let Some(engine) = &mut engine {
-                    let pass = engine.on_aggregation(&mut sys, &agg);
-                    let interference = sys.charge_schemes(pass.work_ns);
-                    if interference > 0 {
-                        if let Some(st) = sys.proc_stats_mut(pid) {
-                            st.monitor_interference_ns += interference;
-                        }
-                        sys.advance(interference);
-                    }
-                }
-                match &mut record {
-                    Some(rec) => {
-                        if observing {
-                            last_window = Some(agg.clone());
-                        }
-                        rec.push(agg);
-                    }
-                    None if observing => last_window = Some(agg),
-                    None => {}
-                }
-            }
-        }
-
-        // 4. Linux-original THP: aggressive background promotion.
-        if config.khugepaged && sys.now() >= next_khugepaged {
-            let (_, ns) = sys.khugepaged_scan(pid, 1)?;
-            let interference = sys.charge_schemes(ns);
-            if let Some(st) = sys.proc_stats_mut(pid) {
-                st.stall_ns += interference;
-            }
-            sys.advance(interference);
-            next_khugepaged = sys.now() + KHUGEPAGED_INTERVAL;
-        }
-
-        // 5. Observation hook (a single branch when nobody listens).
+        // Observation hook (a single branch when nobody listens).
         if let Some(obs) = observer.as_deref_mut() {
             let stats =
                 sys.proc_stats(pid).ok_or(MmError::NoSuchProcess(pid))?;

@@ -1,0 +1,145 @@
+//! The unified run entry point: one builder that scales from a single
+//! process to a fleet.
+//!
+//! [`Session`] supersedes the [`crate::run`] / [`crate::run_observed`]
+//! duo (both kept as thin shims). A session names *what* to run — a
+//! machine, a configuration, a workload spec — and the builder chain
+//! adds *how*: a seed, an optional per-epoch [`RunObserver`], and
+//! optionally a [`FleetSpec`] that replicates the workload across
+//! thousands of processes under the sharded fleet engine
+//! ([`crate::fleet`]).
+//!
+//! ```no_run
+//! use daos::{FleetSpec, RunConfig, Session};
+//! use daos_mm::MachineProfile;
+//! use daos_workloads::by_path;
+//!
+//! let machine = MachineProfile::i3_metal();
+//! let config = RunConfig::prcl();
+//! let spec = by_path("parsec3/freqmine").unwrap();
+//!
+//! // Single process — exactly what `run()` did:
+//! let one = Session::new(&machine, &config, &spec).seed(42).execute().unwrap();
+//! let result = one.into_single();
+//!
+//! // The same run, 1024× with 4 tenant label families:
+//! let fleet = Session::new(&machine, &config, &spec)
+//!     .seed(42)
+//!     .fleet(FleetSpec::new(1024).tenants(4))
+//!     .execute()
+//!     .unwrap();
+//! let summary = fleet.fleet.unwrap();
+//! println!("{}", summary.render());
+//! # let _ = result;
+//! ```
+
+use daos_mm::error::MmResult;
+use daos_mm::machine::MachineProfile;
+use daos_workloads::WorkloadSpec;
+
+use crate::config::RunConfig;
+use crate::fleet::{FleetEngine, FleetObserver, FleetSpec, FleetSummary};
+use crate::runner::{execute_single, RunObserver, RunResult};
+
+/// Everything a session produced: one [`RunResult`] per process (a
+/// single run is `runs.len() == 1`), plus the [`FleetSummary`] when a
+/// fleet ran.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// Per-process results, in global process order.
+    pub runs: Vec<RunResult>,
+    /// Fleet-level aggregates (None for a single-process session).
+    pub fleet: Option<FleetSummary>,
+}
+
+impl SessionResult {
+    /// The sole result of a single-process session (or the first
+    /// process of a fleet).
+    pub fn into_single(self) -> RunResult {
+        self.runs
+            .into_iter()
+            .next()
+            // lint: allow(panic, every executed session yields at least one run — nr_processes is clamped to ≥ 1)
+            .expect("session produced no runs")
+    }
+}
+
+/// Builder for one experiment run — single process or fleet. See the
+/// [module docs](self) for the shape; `execute()` consumes the session.
+pub struct Session<'a> {
+    machine: &'a MachineProfile,
+    config: &'a RunConfig,
+    spec: &'a WorkloadSpec,
+    seed: u64,
+    observer: Option<&'a mut dyn RunObserver>,
+    fleet: Option<FleetSpec>,
+    fleet_observer: Option<&'a mut dyn FleetObserver>,
+}
+
+impl<'a> Session<'a> {
+    /// A session running `spec` under `config` on `machine` (seed 0, no
+    /// observers, single process).
+    pub fn new(
+        machine: &'a MachineProfile,
+        config: &'a RunConfig,
+        spec: &'a WorkloadSpec,
+    ) -> Self {
+        Session {
+            machine,
+            config,
+            spec,
+            seed: 0,
+            observer: None,
+            fleet: None,
+            fleet_observer: None,
+        }
+    }
+
+    /// Fix all randomness (workload draws, monitor sampling, region
+    /// splits) to `seed`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Observe a single-process run once per epoch (ignored when a
+    /// fleet spec is set — use [`fleet_observer`](Self::fleet_observer)).
+    pub fn observer(mut self, observer: &'a mut dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Scale to a fleet: replicate the workload `spec.nr_processes`
+    /// times under the sharded engine.
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.fleet = Some(spec);
+        self
+    }
+
+    /// Observe a fleet run once per tick.
+    pub fn fleet_observer(mut self, observer: &'a mut dyn FleetObserver) -> Self {
+        self.fleet_observer = Some(observer);
+        self
+    }
+
+    /// Run to completion. A session without a fleet spec is *exactly*
+    /// the old `run_observed` (same instruction sequence); with one, the
+    /// fleet engine takes over — and a `FleetSpec::new(1)` fleet still
+    /// produces a byte-identical `RunResult` (the equivalence pin).
+    pub fn execute(self) -> MmResult<SessionResult> {
+        match self.fleet {
+            None => {
+                let run =
+                    execute_single(self.machine, self.config, self.spec, self.seed, self.observer)?;
+                Ok(SessionResult { runs: vec![run], fleet: None })
+            }
+            Some(fleet) => {
+                let mut engine =
+                    FleetEngine::new(self.machine, self.config, self.spec, fleet, self.seed)?;
+                engine.run(self.fleet_observer)?;
+                let (runs, summary) = engine.finish()?;
+                Ok(SessionResult { runs, fleet: Some(summary) })
+            }
+        }
+    }
+}

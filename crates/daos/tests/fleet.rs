@@ -1,0 +1,200 @@
+//! Fleet engine cross-validation: the scaled path must stay pinned to
+//! the single-run path (N=1 equivalence, byte-stable trace), stay
+//! deterministic regardless of worker count, keep per-process drop
+//! accounting, and show sub-linear monitoring overhead.
+
+use daos::{run, FleetSpec, RunConfig, Session};
+use daos_mm::MachineProfile;
+use daos_trace::Collector;
+use daos_workloads::{by_path, FleetConfig, WorkloadSpec};
+
+fn small_machine() -> MachineProfile {
+    let mut m = MachineProfile::i3_metal();
+    m.dram_bytes = 1 << 30;
+    m
+}
+
+fn small_worker(nr_epochs: u64) -> WorkloadSpec {
+    let cfg = FleetConfig { worker_footprint: 4 << 20, ..FleetConfig::default() };
+    cfg.worker_spec(nr_epochs)
+}
+
+/// A fleet of one process is *the same run*: identical RunResult for
+/// every paper configuration, vaddr and paddr alike.
+#[test]
+fn fleet_of_one_equals_single_run() {
+    let machine = small_machine();
+    let spec = small_worker(40);
+    for config in [RunConfig::baseline(), RunConfig::prcl(), RunConfig::prec(), RunConfig::thp()] {
+        let single = run(&machine, &config, &spec, 42).unwrap();
+        let fleet = Session::new(&machine, &config, &spec)
+            .seed(42)
+            .fleet(FleetSpec::new(1))
+            .execute()
+            .unwrap();
+        assert_eq!(fleet.runs.len(), 1);
+        assert_eq!(
+            fleet.runs[0], single,
+            "fleet-of-1 diverged from run() under config {}",
+            config.name
+        );
+        let summary = fleet.fleet.expect("fleet summary present");
+        assert_eq!(summary.nr_processes, 1);
+        assert_eq!(summary.runtime_ns, single.runtime_ns);
+    }
+}
+
+/// The N=1 fleet runs inline on the caller thread, so a caller-installed
+/// trace collector sees a byte-identical event stream.
+#[test]
+fn fleet_of_one_trace_is_byte_stable() {
+    let machine = small_machine();
+    let spec = small_worker(30);
+    let config = RunConfig::prcl();
+
+    daos_trace::install(Collector::builder().build().unwrap()).unwrap();
+    run(&machine, &config, &spec, 7).unwrap();
+    let single_trace = daos_trace::export_collector(&daos_trace::take().unwrap());
+
+    daos_trace::install(Collector::builder().build().unwrap()).unwrap();
+    Session::new(&machine, &config, &spec)
+        .seed(7)
+        .fleet(FleetSpec::new(1))
+        .execute()
+        .unwrap();
+    let fleet_trace = daos_trace::export_collector(&daos_trace::take().unwrap());
+
+    assert_eq!(single_trace, fleet_trace, "N=1 fleet trace diverged from run()");
+}
+
+/// Worker count is a performance knob, never a results knob: per-process
+/// results and the summary (minus pool counters) are identical.
+#[test]
+fn fleet_results_independent_of_worker_count() {
+    let machine = small_machine();
+    let spec = small_worker(25);
+    let config = RunConfig::prcl();
+    let fleet = |workers: usize| {
+        Session::new(&machine, &config, &spec)
+            .seed(1234)
+            .fleet(FleetSpec::new(24).shard_size(4).workers(workers).tenants(3))
+            .execute()
+            .unwrap()
+    };
+    let serial = fleet(1);
+    let parallel = fleet(4);
+    assert_eq!(serial.runs, parallel.runs, "worker count changed per-process results");
+    let (s, p) = (serial.fleet.unwrap(), parallel.fleet.unwrap());
+    assert_eq!(s.runtime_ns, p.runtime_ns);
+    assert_eq!(s.total_avg_rss, p.total_avg_rss);
+    assert_eq!(s.total_peak_rss, p.total_peak_rss);
+    assert_eq!(s.monitor_work_ns, p.monitor_work_ns);
+    assert_eq!(s.monitor_total_checks, p.monitor_total_checks);
+    assert_eq!(s.tenants, p.tenants);
+    assert_eq!(s.nr_workers, 1);
+    assert_eq!(p.nr_workers, 4);
+}
+
+/// Same seed, same everything: a fleet run is reproducible.
+#[test]
+fn fleet_runs_are_deterministic() {
+    let machine = small_machine();
+    let spec = small_worker(20);
+    let config = RunConfig::prcl();
+    let go = || {
+        Session::new(&machine, &config, &spec)
+            .seed(99)
+            .fleet(FleetSpec::new(10).shard_size(3).workers(2))
+            .execute()
+            .unwrap()
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.fleet.unwrap().tenants, b.fleet.unwrap().tenants);
+}
+
+/// The region budget makes per-process monitoring overhead fall as the
+/// fleet grows (the sub-linearity acceptance criterion, in miniature).
+#[test]
+fn monitoring_overhead_is_sublinear_in_fleet_size() {
+    let machine = small_machine();
+    let spec = small_worker(12);
+    let config = RunConfig::prcl();
+    let per_proc = |n: usize| {
+        let s = Session::new(&machine, &config, &spec)
+            .seed(5)
+            .fleet(FleetSpec::new(n).shard_size(8))
+            .execute()
+            .unwrap()
+            .fleet
+            .unwrap();
+        assert_eq!(s.nr_processes, n);
+        s.overhead_per_process_ns()
+    };
+    let at_small = per_proc(8);
+    let at_large = per_proc(128);
+    assert!(
+        at_large <= at_small,
+        "overhead per process grew with the fleet: {at_small} ns @8 vs {at_large} ns @128"
+    );
+}
+
+/// With per-shard trace rings, drop counts are reported per process —
+/// not collapsed into one once-per-run warning.
+#[test]
+fn per_process_drop_counts_survive_in_summary() {
+    let machine = small_machine();
+    let spec = small_worker(15);
+    let config = RunConfig::prcl();
+    let summary = Session::new(&machine, &config, &spec)
+        .seed(3)
+        .fleet(FleetSpec::new(6).shard_size(2).workers(2).trace_ring(8))
+        .execute()
+        .unwrap()
+        .fleet
+        .unwrap();
+    assert_eq!(summary.dropped_events.len(), 6, "one drop counter per process");
+    let lossy = summary.dropped_events.iter().filter(|&&d| d > 0).count();
+    assert!(
+        lossy >= 2,
+        "expected multiple processes to overflow an 8-event ring, got {:?}",
+        summary.dropped_events
+    );
+    let rendered = summary.render();
+    assert!(rendered.contains("events dropped across"), "summary renders drops:\n{rendered}");
+}
+
+/// The budget clamp leaves a catalog workload's attrs untouched at N=1
+/// and the builder clamps degenerate values.
+#[test]
+fn fleet_spec_defaults_and_clamps() {
+    let spec = FleetSpec::new(0);
+    assert_eq!(spec.nr_processes, 1);
+    assert_eq!(spec.nr_shards(), 1);
+    let spec = FleetSpec::new(100).shard_size(0).tenants(0);
+    assert_eq!(spec.procs_per_shard, 1);
+    assert_eq!(spec.nr_tenants, 1);
+    assert_eq!(spec.nr_shards(), 100);
+
+    let attrs = daos_monitor::MonitorAttrs::paper_defaults();
+    assert_eq!(FleetSpec::new(1).effective_attrs(&attrs), attrs, "N=1 attrs unchanged");
+    let squeezed = FleetSpec::new(100_000).effective_attrs(&attrs);
+    assert_eq!(squeezed.max_nr_regions, attrs.min_nr_regions, "huge fleets hit the floor");
+}
+
+/// Session without a fleet spec matches the deprecated run() shim, and
+/// works on a catalog workload.
+#[test]
+fn session_single_matches_run_shim() {
+    let machine = small_machine();
+    let config = RunConfig::rec();
+    let spec = by_path("parsec3/blackscholes").unwrap();
+    let mut small = spec;
+    small.footprint = 8 << 20;
+    small.nr_epochs = 20;
+    let via_shim = run(&machine, &config, &small, 11).unwrap();
+    let via_session =
+        Session::new(&machine, &config, &small).seed(11).execute().unwrap().into_single();
+    assert_eq!(via_shim, via_session);
+}

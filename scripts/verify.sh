@@ -105,6 +105,73 @@ target/release/pipeline --check "$tmp/bench.json" \
 }
 echo "ok"
 
+echo "== fleet smoke: 256 processes, per-tenant /metrics families =="
+# A served fleet run: the sharded engine must complete, print the fleet
+# summary, and publish per-tenant label families on /metrics (the
+# registry folds tenant.<t>.* counters into daos_tenant_*{tenant="t"}).
+target/release/daos fleet --processes 256 --epochs 30 --tenants 4 --seed 42 \
+    --serve 127.0.0.1:0 --linger > "$tmp/fleet.log" 2>&1 &
+fleet_pid=$!
+faddr=""
+for _ in $(seq 1 50); do
+    faddr=$(sed -n 's/^serving observability on \([0-9.:]*\)$/\1/p' "$tmp/fleet.log")
+    [ -n "$faddr" ] && break
+    sleep 0.1
+done
+[ -n "$faddr" ] || { echo "FAIL: fleet run never announced its address"; kill "$fleet_pid" 2>/dev/null; exit 1; }
+# Wait for the run to complete (the summary prints before --linger), so
+# the scrape below sees the finalized snapshot.
+fleet_done=""
+for _ in $(seq 1 300); do
+    if grep -q "^fleet    256 procs" "$tmp/fleet.log"; then
+        fleet_done=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$fleet_done" ] || {
+    echo "FAIL: fleet run never printed its summary"
+    cat "$tmp/fleet.log"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+target/release/obs-get "$faddr" /metrics > "$tmp/fleet_metrics.txt" || {
+    echo "FAIL: fleet /metrics unreachable or invalid exposition"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+kill "$fleet_pid" 2>/dev/null
+wait "$fleet_pid" 2>/dev/null || true
+grep -q 'daos_tenant_rss_bytes{tenant="t3"}' "$tmp/fleet_metrics.txt" || {
+    echo "FAIL: /metrics lacks the per-tenant label families"
+    head -40 "$tmp/fleet_metrics.txt"
+    exit 1
+}
+grep -q '^daos_fleet_nr_processes 256$' "$tmp/fleet_metrics.txt" || {
+    echo "FAIL: /metrics lacks the fleet-level gauges"
+    head -40 "$tmp/fleet_metrics.txt"
+    exit 1
+}
+echo "ok"
+
+echo "== bench fleet: 1k-process tick median within baseline =="
+# Same shape as the pipeline gate: fresh full run, artifact well-formed,
+# gated median within the committed baseline + margin.
+DAOS_BENCH_OUT="$tmp/fleet_bench.json" target/release/fleet_bench > /dev/null
+[ -s "$tmp/fleet_bench.json" ] || { echo "FAIL: fleet bench artifact empty"; exit 1; }
+target/release/fleet_bench --check BENCH_fleet.json || {
+    echo "FAIL: committed BENCH_fleet.json is not well-formed JSON"; exit 1
+}
+target/release/fleet_bench --check "$tmp/fleet_bench.json" \
+    --baseline BENCH_fleet.json --margin 150 || {
+    echo "FAIL: fleet tick bench regressed past the committed baseline + margin"
+    echo "(compare $tmp/fleet_bench.json against BENCH_fleet.json; if the"
+    echo "slowdown is intentional, regenerate the baseline with"
+    echo "'cargo run --release -p daos-bench --bin fleet_bench')"
+    exit 1
+}
+echo "ok"
+
 echo "== offline test suite (workspace) =="
 cargo test -q --offline --workspace
 

@@ -31,6 +31,81 @@ pub fn artifact_doc(bench: &str, quick: bool, samples: usize, results: &[(String
     ])
 }
 
+/// A measured latency distribution plus sustained rate — the
+/// per-endpoint result shape of the `obs_bench` load harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStats {
+    /// Median request latency (doubles as the gated `median_ns`).
+    pub p50_ns: f64,
+    /// 95th-percentile request latency.
+    pub p95_ns: f64,
+    /// 99th-percentile request latency.
+    pub p99_ns: f64,
+    /// Fastest request.
+    pub min_ns: f64,
+    /// Slowest request.
+    pub max_ns: f64,
+    /// Sustained requests per second over the whole storm.
+    pub rps: f64,
+    /// Requests measured.
+    pub iters: u64,
+}
+
+/// Aggregate raw per-request latencies plus the storm's wall time into
+/// a [`LoadStats`]. Returns `None` for an empty sample set.
+pub fn load_stats(mut lat_ns: Vec<u64>, wall_ns: u64) -> Option<LoadStats> {
+    if lat_ns.is_empty() {
+        return None;
+    }
+    lat_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * (lat_ns.len() - 1) as f64).round() as usize;
+        lat_ns[idx.min(lat_ns.len() - 1)] as f64
+    };
+    Some(LoadStats {
+        p50_ns: pct(50.0),
+        p95_ns: pct(95.0),
+        p99_ns: pct(99.0),
+        min_ns: lat_ns[0] as f64,
+        max_ns: lat_ns[lat_ns.len() - 1] as f64,
+        rps: lat_ns.len() as f64 / (wall_ns.max(1) as f64 / 1e9),
+        iters: lat_ns.len() as u64,
+    })
+}
+
+/// One [`LoadStats`] as the artifact's per-bench JSON object. The p50
+/// is written under the `median_ns` key too, so [`median_of`] and
+/// [`gate`] work on load artifacts unchanged.
+pub fn load_json(s: &LoadStats) -> Json {
+    Json::Object(vec![
+        ("median_ns".into(), Json::F64(s.p50_ns)),
+        ("p50_ns".into(), Json::F64(s.p50_ns)),
+        ("p95_ns".into(), Json::F64(s.p95_ns)),
+        ("p99_ns".into(), Json::F64(s.p99_ns)),
+        ("min_ns".into(), Json::F64(s.min_ns)),
+        ("max_ns".into(), Json::F64(s.max_ns)),
+        ("rps".into(), Json::F64(s.rps)),
+        ("iters".into(), Json::U64(s.iters)),
+    ])
+}
+
+/// The full artifact document for a load-harness run (the
+/// `obs_bench` shape: [`LoadStats`] per endpoint instead of
+/// [`Timing`] per bench).
+pub fn load_artifact_doc(
+    bench: &str,
+    quick: bool,
+    results: &[(String, LoadStats)],
+) -> Json {
+    let results: Vec<(String, Json)> =
+        results.iter().map(|(name, s)| (name.clone(), load_json(s))).collect();
+    Json::Object(vec![
+        ("bench".into(), Json::Str(bench.into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("results".into(), Json::Object(results)),
+    ])
+}
+
 /// Artifact output path: the `DAOS_BENCH_OUT` override, or `file` at
 /// the repo root (two levels above this crate's manifest).
 pub fn out_path(file: &str) -> PathBuf {
@@ -134,6 +209,30 @@ mod tests {
         let text = doc.to_string_compact();
         let back = parse_artifact(&text).unwrap();
         assert_eq!(median_of(&back, "x/y"), Some(1.5));
+    }
+
+    #[test]
+    fn load_stats_percentiles_and_gateable_artifact() {
+        assert!(load_stats(vec![], 1).is_none());
+        // 1..=100 ns over a 10 µs wall: nearest-rank percentiles on the
+        // sorted samples, rps from the wall clock.
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = load_stats(lat, 10_000).unwrap();
+        assert_eq!(s.p50_ns, 51.0);
+        assert_eq!(s.p95_ns, 95.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert_eq!(s.iters, 100);
+        assert!((s.rps - 1e7).abs() < 1e-6, "100 reqs / 10 µs = 1e7 rps");
+
+        // The load artifact round-trips and its p50 is gateable through
+        // the same `median_of`/`gate` machinery as the timing artifacts.
+        let doc = load_artifact_doc("obs", false, &[("obs/metrics".into(), s)]);
+        let back = parse_artifact(&doc.to_string_compact()).unwrap();
+        assert_eq!(median_of(&back, "obs/metrics"), Some(51.0));
+        let checks = gate(&back, &back, &["obs/metrics"], 150.0).unwrap();
+        assert!(!checks[0].regressed(), "an artifact never regresses against itself");
     }
 
     #[test]

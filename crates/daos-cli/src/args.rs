@@ -18,7 +18,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "machine", "out", "seed", "rows", "cols", "schemes-file", "scheme", "range", "samples",
     "swap", "min-age", "duration", "config", "ring", "epochs", "serve", "refresh",
     "iterations", "publish-every", "processes", "shard-size", "workers", "tenants",
-    "footprint",
+    "footprint", "obs-workers",
 ];
 
 impl Args {

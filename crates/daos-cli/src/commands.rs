@@ -10,7 +10,9 @@ use daos::{
     score_vs_baseline, DaosError, FleetSpec, Heatmap, MonitorKind, Normalized, RunConfig,
     RunResult, Session, WssReport,
 };
-use daos_obs::{Dashboard, EpochPublisher, FleetPublisher, ObsServer, ObsSnapshot, Publisher};
+use daos_obs::{
+    Dashboard, EpochPublisher, FleetPublisher, ObsConfig, ObsServer, ObsSnapshot, Publisher,
+};
 use daos_mm::clock::sec;
 use daos_mm::SwapConfig;
 use daos_schemes::{parse_scheme_line, parse_schemes};
@@ -253,6 +255,14 @@ pub fn schemes(args: &Args) -> Result<(), DaosError> {
     Ok(())
 }
 
+/// The obs server tuning selected by `--obs-workers` (0 = auto-size
+/// from the machine's parallelism; the other knobs keep their
+/// defaults).
+fn obs_config(args: &Args) -> Result<ObsConfig, DaosError> {
+    let workers: usize = args.opt_num("obs-workers", 0)?;
+    Ok(ObsConfig { workers, ..ObsConfig::default() })
+}
+
 /// Bind the observability server on `addr`, run the workload with an
 /// [`EpochPublisher`] attached, and publish the final snapshot. The
 /// caller installs (and takes back) the trace collector; when one is
@@ -264,10 +274,11 @@ fn run_serving(
     spec: &daos_workloads::WorkloadSpec,
     seed: u64,
     publish_every: u64,
+    obs_cfg: ObsConfig,
 ) -> Result<(RunResult, ObsServer), DaosError> {
     let publisher = Publisher::new();
-    let server =
-        ObsServer::bind(addr, publisher.clone()).map_err(|e| DaosError::io(addr, e))?;
+    let server = ObsServer::bind_with(addr, publisher.clone(), obs_cfg)
+        .map_err(|e| DaosError::io(addr, e))?;
     println!("serving observability on {}", server.addr());
     let mut obs = EpochPublisher::new(
         publisher,
@@ -356,7 +367,8 @@ pub fn run_cmd(args: &Args) -> Result<(), DaosError> {
     let ring: usize = args.opt_num("ring", daos_trace::DEFAULT_RING_CAPACITY)?;
     let publish_every: u64 = args.opt_num("publish-every", 1)?;
     daos_trace::install(daos_trace::Collector::builder().ring_capacity(ring).build()?)?;
-    let served = run_serving(addr, &machine, &config, &spec, seed, publish_every);
+    let served =
+        run_serving(addr, &machine, &config, &spec, seed, publish_every, obs_config(args)?);
     let collector = daos_trace::take().expect("collector installed above");
     let (result, server) = served?;
     print_run_summary(&result);
@@ -514,7 +526,8 @@ pub fn trace(args: &Args) -> Result<(), DaosError> {
         None => run(&machine, &config, &spec, seed).map_err(DaosError::from),
         Some(addr) => {
             let publish_every: u64 = args.opt_num("publish-every", 1)?;
-            run_serving(addr, &machine, &config, &spec, seed, publish_every).map(
+            run_serving(addr, &machine, &config, &spec, seed, publish_every, obs_config(args)?)
+                .map(
                 |(result, srv)| {
                     server = Some(srv);
                     result
@@ -688,8 +701,8 @@ pub fn fleet(args: &Args) -> Result<(), DaosError> {
         Some(addr) => {
             let publish_every: u64 = args.opt_num("publish-every", 1)?;
             let publisher = Publisher::new();
-            let server =
-                ObsServer::bind(addr, publisher.clone()).map_err(|e| DaosError::io(addr, e))?;
+            let server = ObsServer::bind_with(addr, publisher.clone(), obs_config(args)?)
+                .map_err(|e| DaosError::io(addr, e))?;
             println!("serving observability on {}", server.addr());
             let mut obs = FleetPublisher::new(
                 publisher,

@@ -18,8 +18,8 @@ SUBCOMMANDS:
         [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
         [--machine i3|m5d|z1d] [--seed N] [--epochs N]
         [--serve ADDR]        expose live /metrics /snapshot /events
-                              /healthz while the run executes
-        [--publish-every N] [--ring N] [--linger]
+                              /healthz /statusz while the run executes
+        [--publish-every N] [--ring N] [--linger] [--obs-workers N]
     top <ADDR | workload>     live dashboard (WSS sparkline, hottest
         regions, scheme state, span latencies); ADDR attaches to a
         --serve endpoint, a workload name runs it in-process
@@ -42,7 +42,7 @@ SUBCOMMANDS:
         the event stream as JSONL (stdout, or --out FILE with a summary)
         [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
         [--ring N] [--epochs N] [--machine ...] [--seed N] [--out FILE]
-        [--serve ADDR] [--publish-every N] [--linger]
+        [--serve ADDR] [--publish-every N] [--linger] [--obs-workers N]
     tune <workload>           auto-tune the prcl scheme's min_age
         [--range LO:HI] [--samples N] [--machine ...] [--seed N]
     fleet                     the serverless production scenario at
@@ -53,7 +53,7 @@ SUBCOMMANDS:
         [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
         [--swap zram|file|none] [--min-age SECONDS]
         [--machine i3|m5d|z1d] [--seed N]
-        [--serve ADDR] [--publish-every N] [--linger]
+        [--serve ADDR] [--publish-every N] [--linger] [--obs-workers N]
 
 Every command is deterministic under a fixed --seed.
 ";

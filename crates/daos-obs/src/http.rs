@@ -1,33 +1,42 @@
 //! Just enough HTTP/1.1 on `std::net` for the observability plane: a
-//! request-line parser and response writers for the server side, and a
-//! blocking `GET` client (with chunked-transfer decoding) used by
-//! `daos top ADDR`, the integration tests, and the `obs-get` smoke
-//! helper — no external dependencies anywhere.
+//! request parser (method, path, keep-alive negotiation), response
+//! writers with `Content-Length` or chunked framing, and two blocking
+//! clients — one-shot [`http_get`] (used by `daos top ADDR`, the
+//! integration tests, and the `obs-get` smoke helper) and the
+//! persistent [`HttpClient`] that keeps one connection open across
+//! requests (used by the `obs_bench` load generator and the keep-alive
+//! tests) — no external dependencies anywhere.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A parsed request head. Headers beyond the request line are read and
-/// discarded — the observability endpoints key on method + path only.
+/// A parsed request head. Only the headers the server acts on are
+/// interpreted (`Connection`); the rest are read and discarded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// HTTP method (`GET`, `HEAD`, ...).
     pub method: String,
     /// Request target path including any query string.
     pub path: String,
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to `true` unless `Connection: close`, HTTP/1.0 to
+    /// `false` unless `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Read one request head from `reader`. Returns `None` on a clean EOF
-/// before any bytes (client closed an idle connection).
+/// before any bytes (client closed an idle connection). Malformed
+/// request lines surface as [`io::ErrorKind::InvalidData`] so the
+/// server can answer `400 Bad Request` instead of silently closing.
 pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
     }
     let mut words = line.split_whitespace();
-    let (method, path) = match (words.next(), words.next(), words.next()) {
-        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p),
+    let (method, path, version) = match (words.next(), words.next(), words.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p, v),
         _ => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -35,12 +44,29 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
             ))
         }
     };
-    let request = Request { method: method.to_string(), path: path.to_string() };
-    // Drain headers up to the blank line; we don't interpret them.
+    // Keep-alive is the HTTP/1.1 default; 1.0 must opt in.
+    let mut keep_alive = version != "HTTP/1.0";
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        keep_alive,
+    };
+    let mut request = request;
+    // Drain headers up to the blank line; `Connection` is the only one
+    // the server interprets.
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            request.keep_alive = keep_alive;
             return Ok(Some(request));
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("connection:") {
+            keep_alive = match v.trim() {
+                "close" => false,
+                "keep-alive" => true,
+                _ => keep_alive,
+            };
         }
     }
 }
@@ -48,33 +74,80 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     }
 }
 
-/// Write a complete response with a `Content-Length` body.
+/// How a response should be framed and delivered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResponseOpts {
+    /// Announce `Connection: keep-alive` instead of `close`.
+    pub keep_alive: bool,
+    /// Write the head only (a `HEAD` answer): full headers, including
+    /// the `Content-Length` the body *would* have, but no body bytes.
+    pub head_only: bool,
+    /// Emit a `Retry-After: N` header (the 503 backpressure answer).
+    pub retry_after: Option<u32>,
+}
+
+/// Write a complete response with a `Content-Length` body under `opts`.
+/// Returns the number of body bytes actually written (0 for
+/// `head_only`), which the server's response-size telemetry records.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    opts: ResponseOpts,
+) -> io::Result<usize> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+    );
+    if let Some(secs) = opts.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str(if opts.keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    // One write for head + body: two writes on a non-NODELAY socket can
+    // hit the Nagle/delayed-ACK stall and cost tens of ms per response.
+    let written = if opts.head_only {
+        0
+    } else {
+        head.push_str(body);
+        body.len()
+    };
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(written)
+}
+
+/// Write a complete `Connection: close` response with a
+/// `Content-Length` body (the one-shot shape every pre-keep-alive
+/// caller used; kept as the simple front door).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        status,
-        status_text(status),
-        content_type,
-        body.len(),
-        body
-    )?;
-    stream.flush()
+    write_response_with(stream, status, content_type, body, ResponseOpts::default())
+        .map(|_| ())
 }
 
 /// Start a chunked response; follow with [`write_chunk`] calls and a
-/// final [`finish_chunked`].
+/// final [`finish_chunked`]. Chunked streams always announce
+/// `Connection: close` — the `/events` tail ends with the connection.
 pub fn start_chunked(stream: &mut impl Write, content_type: &str) -> io::Result<()> {
     write!(
         stream,
@@ -99,28 +172,30 @@ pub fn finish_chunked(stream: &mut impl Write) -> io::Result<()> {
     stream.flush()
 }
 
-/// A fetched response: status code and decoded body.
+/// A fetched response: status code, headers, and decoded body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Body with `Content-Length` or chunked framing removed.
     pub body: String,
 }
 
-/// Blocking `GET {path}` against `addr` with per-operation `timeout`.
-/// Decodes both `Content-Length` and chunked bodies; for chunked streams
-/// that outlive the timeout (e.g. `/events` on a live run), returns
-/// whatever arrived before the socket timed out.
-pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
-    let stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    let mut writer = stream.try_clone()?;
-    write!(writer, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
-    writer.flush()?;
+impl Response {
+    /// The first header named `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
 
-    let mut reader = BufReader::new(stream);
+/// Read one response (status line, headers, framed body) from `reader`.
+/// With `head_only` the body is not read even if `Content-Length` says
+/// one would follow (the `HEAD` client side). For chunked bodies a
+/// read timeout mid-stream keeps what already arrived (the `/events`
+/// client behaviour).
+fn read_response(reader: &mut impl BufRead, head_only: bool) -> io::Result<Response> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -131,6 +206,7 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<R
             io::Error::new(io::ErrorKind::InvalidData, format!("bad status line: {status_line:?}"))
         })?;
 
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     loop {
@@ -138,18 +214,24 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<R
         if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
             break;
         }
-        let lower = header.to_ascii_lowercase();
-        if let Some(v) = lower.strip_prefix("content-length:") {
-            content_length = v.trim().parse().ok();
-        } else if let Some(v) = lower.strip_prefix("transfer-encoding:") {
-            chunked = v.trim() == "chunked";
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" {
+                chunked = value == "chunked";
+            }
+            headers.push((name, value));
         }
     }
 
     let mut body = String::new();
-    if chunked {
+    if head_only {
+        // A HEAD answer carries headers only; nothing more to read.
+    } else if chunked {
         // Tolerate timeouts mid-stream: keep what we have.
-        if let Err(e) = read_chunked(&mut reader, &mut body) {
+        if let Err(e) = read_chunked(reader, &mut body) {
             if !matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
                 return Err(e);
             }
@@ -161,7 +243,64 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<R
     } else {
         reader.read_to_string(&mut body)?;
     }
-    Ok(Response { status, body })
+    Ok(Response { status, headers, body })
+}
+
+/// Blocking `GET {path}` against `addr` with per-operation `timeout`,
+/// one connection per call (`Connection: close`). Decodes both
+/// `Content-Length` and chunked bodies; for chunked streams that
+/// outlive the timeout (e.g. `/events` on a live run), returns whatever
+/// arrived before the socket timed out.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    write!(writer, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    writer.flush()?;
+    read_response(&mut BufReader::new(stream), false)
+}
+
+/// A persistent keep-alive connection issuing sequential requests: the
+/// client side of the server's worker-pool keep-alive path, used by the
+/// `obs_bench` load generator and the storm tests. Every request
+/// announces `Connection: keep-alive`; the connection stays usable as
+/// long as the server honours it.
+pub struct HttpClient {
+    addr: SocketAddr,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` with `timeout` applying to the connect and to
+    /// every subsequent read/write.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient { addr, writer, reader: BufReader::new(stream) })
+    }
+
+    /// Issue `{method} {path}` on the persistent connection and read
+    /// the full response. `HEAD` responses are read as headers-only.
+    pub fn request(&mut self, method: &str, path: &str) -> io::Result<Response> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr
+        )?;
+        self.writer.flush()?;
+        read_response(&mut self.reader, method == "HEAD")
+    }
+
+    /// Issue `GET {path}` on the persistent connection.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path)
+    }
 }
 
 fn read_chunked(reader: &mut impl BufRead, body: &mut String) -> io::Result<()> {
@@ -195,9 +334,57 @@ mod tests {
     fn request_line_parses_and_headers_are_drained() {
         let raw = "GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
         let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
-        assert_eq!(req, Request { method: "GET".into(), path: "/metrics".into() });
+        assert_eq!(
+            req,
+            Request { method: "GET".into(), path: "/metrics".into(), keep_alive: true }
+        );
         assert!(read_request(&mut Cursor::new("")).unwrap().is_none(), "EOF is a clean close");
-        assert!(read_request(&mut Cursor::new("nonsense\r\n\r\n")).is_err());
+        let err = read_request(&mut Cursor::new("nonsense\r\n\r\n")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "malformed lines are 400 material");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection() {
+        let parse = |raw: &str| read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").keep_alive, "1.1 defaults to keep-alive");
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").keep_alive, "1.0 defaults to close");
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+        assert!(parse("HEAD / HTTP/1.1\r\nConnection: Upgrade\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn response_opts_control_framing() {
+        let mut buf = Vec::new();
+        let n = write_response_with(
+            &mut buf,
+            503,
+            "text/plain",
+            "busy\n",
+            ResponseOpts { keep_alive: false, head_only: false, retry_after: Some(1) },
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(n, 5);
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("busy\n"));
+
+        let mut buf = Vec::new();
+        let n = write_response_with(
+            &mut buf,
+            200,
+            "text/plain",
+            "would-be body",
+            ResponseOpts { keep_alive: true, head_only: true, retry_after: None },
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(n, 0, "HEAD writes no body bytes");
+        assert!(text.contains("Content-Length: 13\r\n"), "HEAD still announces the length");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body follows the head");
     }
 
     #[test]
@@ -226,8 +413,54 @@ mod tests {
         let t = Duration::from_secs(5);
         let plain = http_get(addr, "/plain", t).unwrap();
         assert_eq!((plain.status, plain.body.as_str()), (200, "hello daos"));
+        assert_eq!(plain.header("content-length"), Some("10"));
         let chunked = http_get(addr, "/chunked", t).unwrap();
         assert_eq!(chunked.body, "{\"a\":1}\n{\"b\":2}\n");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn persistent_client_reuses_one_connection() {
+        // A tiny keep-alive server: one accepted connection, many
+        // requests answered on it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut served = 0u32;
+            while let Some(req) = read_request(&mut reader).unwrap() {
+                served += 1;
+                let body = format!("#{served} {} {}", req.method, req.path);
+                write_response_with(
+                    &mut writer,
+                    200,
+                    "text/plain",
+                    &body,
+                    ResponseOpts {
+                        keep_alive: req.keep_alive,
+                        head_only: req.method == "HEAD",
+                        retry_after: None,
+                    },
+                )
+                .unwrap();
+                if !req.keep_alive {
+                    break;
+                }
+            }
+            served
+        });
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+        for i in 1..=5 {
+            let resp = client.get("/x").unwrap();
+            assert_eq!((resp.status, resp.body.as_str()), (200, format!("#{i} GET /x").as_str()));
+        }
+        let head = client.request("HEAD", "/x").unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.body.is_empty(), "HEAD bodies are empty");
+        assert_eq!(head.header("content-length"), Some("10"), "#6 HEAD /x is 10 bytes");
+        drop(client);
+        assert_eq!(server.join().unwrap(), 6, "one connection served every request");
     }
 }

@@ -16,14 +16,21 @@
 //!   builds and publishes snapshots every N epochs from inside the run
 //!   loop (and a final one via
 //!   [`finalize`](publisher::EpochPublisher::finalize)).
-//! - [`server::ObsServer`] — a thread-per-connection HTTP/1.1 endpoint
-//!   on `std::net::TcpListener` serving `GET /metrics` (Prometheus text
-//!   exposition), `/snapshot` (JSON), `/events` (chunked live JSONL),
-//!   and `/healthz`.
+//! - [`server::ObsServer`] — an HTTP/1.1 endpoint on
+//!   `std::net::TcpListener` built on a bounded `daos_util::pool`
+//!   worker pool multiplexing keep-alive connections, serving
+//!   `GET /metrics` (Prometheus text exposition, including the
+//!   server's own `daos_obs_http_*{endpoint=...}` telemetry),
+//!   `/snapshot` (JSON), `/events` (chunked live JSONL), `/healthz`,
+//!   and `/statusz` (the server's own state as JSON). Saturation is
+//!   explicit: past [`server::ObsConfig::max_connections`] the accept
+//!   loop answers `503` with `Retry-After`.
 //! - [`top::Dashboard`] — the `daos top` frame renderer (WSS sparkline,
 //!   hottest regions, scheme quota state, span p50/p95).
-//! - [`http::http_get`] — the std-only blocking client used by
-//!   `daos top ADDR`, the tests, and the `obs-get` verify helper.
+//! - [`http::http_get`] / [`http::HttpClient`] — the std-only blocking
+//!   clients (one-shot and persistent keep-alive) used by `daos top
+//!   ADDR`, the tests, the `obs_bench` load generator, and the
+//!   `obs-get` verify helper.
 //!
 //! The whole plane is opt-in: without `--serve`, `daos run` never
 //! constructs a publisher and the run loop's observation hook stays a
@@ -36,7 +43,8 @@ pub mod server;
 pub mod snapshot;
 pub mod top;
 
+pub use http::{http_get, HttpClient};
 pub use publisher::{EpochPublisher, FleetPublisher, Publisher, DEFAULT_TAIL_CAPACITY};
-pub use server::ObsServer;
+pub use server::{Endpoint, ObsConfig, ObsServer};
 pub use snapshot::ObsSnapshot;
 pub use top::Dashboard;

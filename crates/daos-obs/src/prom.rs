@@ -5,11 +5,16 @@
 //! Mapping from registry keys:
 //! - dotted keys become `daos_`-prefixed underscore names
 //!   (`monitor.work_ns` → `daos_monitor_work_ns`);
-//! - per-scheme counters `scheme.<i>.<field>` collapse into one family
-//!   per field with a `scheme` label
-//!   (`daos_scheme_nr_applied{scheme="0"}`);
+//! - keyed prefixes collapse into one family per field with a label:
+//!   `scheme.<i>.<field>` → `daos_scheme_<field>{scheme="i"}`,
+//!   `tenant.<t>.<field>` → `daos_tenant_<field>{tenant="t"}`, and the
+//!   server's own `obs.http.<ep>.<field>` →
+//!   `daos_obs_http_<field>{endpoint="ep"}`;
 //! - log2 histograms render as native Prometheus histograms with
-//!   power-of-two `le` bounds plus `_sum`/`_count`.
+//!   power-of-two `le` bounds plus `_sum`/`_count`;
+//! - label values are escaped per the exposition rules (`\\`, `\"`,
+//!   `\n`) and [`parse_exposition`] unescapes them, so hostile tenant
+//!   names round-trip.
 
 use crate::snapshot::ObsSnapshot;
 use daos_trace::{Histogram, Registry};
@@ -25,46 +30,81 @@ fn mangle(key: &str) -> String {
     out
 }
 
+/// Escape a label value per the 0.0.4 exposition rules: backslash,
+/// double quote, and line feed.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
-fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
-    family(out, name, "histogram", "log2-bucketed duration/size distribution");
+/// Emit the sample lines of one histogram. `label` is an optional extra
+/// label pair rendered on every line (the family header is the caller's
+/// job when labelled histograms share a family).
+fn hist_samples(out: &mut String, name: &str, label: Option<(&str, &str)>, h: &Histogram) {
+    let extra = match label {
+        Some((k, v)) => format!("{k}=\"{}\",", escape_label(v)),
+        None => String::new(),
+    };
+    let plain = match label {
+        Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+        None => String::new(),
+    };
     let mut cum = 0u64;
     for (bucket, count) in h.nonzero_buckets() {
         cum += count;
         // Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i).
         let le = if bucket == 0 { 0u128 } else { 1u128 << bucket };
-        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        out.push_str(&format!("{name}_bucket{{{extra}le=\"{le}\"}} {cum}\n"));
     }
-    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-    out.push_str(&format!("{name}_sum {}\n", h.sum()));
-    out.push_str(&format!("{name}_count {}\n", h.count()));
+    out.push_str(&format!("{name}_bucket{{{extra}le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum{plain} {}\n", h.sum()));
+    out.push_str(&format!("{name}_count{plain} {}\n", h.count()));
 }
 
-/// Counter-key prefixes that collapse into labelled families:
-/// `scheme.<i>.<field>` → `daos_scheme_<field>{scheme="i"}`, and
-/// `tenant.<t>.<field>` → `daos_tenant_<field>{tenant="t"}` (the fleet
-/// engine's per-tenant aggregates).
-const LABELLED_PREFIXES: [&str; 2] = ["scheme", "tenant"];
+fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
+    family(out, name, "histogram", "log2-bucketed duration/size distribution");
+    hist_samples(out, name, None, h);
+}
+
+/// Key prefixes that collapse into labelled families, as
+/// `(key prefix, label name)`: `scheme.<i>.*`, `tenant.<t>.*` (the
+/// fleet engine's per-tenant aggregates), and `obs.http.<ep>.*` (the
+/// obs server's per-endpoint self-telemetry).
+const LABELLED_PREFIXES: [(&str, &str); 3] =
+    [("scheme", "scheme"), ("tenant", "tenant"), ("obs.http", "endpoint")];
+
+/// Split `key` on the first matching labelled prefix into
+/// `(prefix, label name, label value, field)`.
+fn split_labelled(key: &str) -> Option<(&str, &str, &str, &str)> {
+    LABELLED_PREFIXES.iter().find_map(|(prefix, label)| {
+        key.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_prefix('.'))
+            .and_then(|rest| rest.split_once('.'))
+            .map(|(value, field)| (*prefix, *label, value, field))
+    })
+}
 
 /// Render the registry part of the exposition into `out`.
 fn render_registry(out: &mut String, reg: &Registry) {
-    // Counters: per-scheme / per-tenant keys collapse into labelled
-    // families.
-    let mut labelled: BTreeMap<(&str, &str), Vec<(&str, u64)>> = BTreeMap::new();
+    // Counters: keyed prefixes collapse into labelled families.
+    let mut labelled: BTreeMap<(&str, &str, &str), Vec<(&str, u64)>> = BTreeMap::new();
     let mut plain: Vec<(&str, u64)> = Vec::new();
     for (key, value) in reg.counters() {
-        let split = LABELLED_PREFIXES.iter().find_map(|label| {
-            key.strip_prefix(label)
-                .and_then(|rest| rest.strip_prefix('.'))
-                .and_then(|rest| rest.split_once('.'))
-                .map(|(idx, field)| (*label, idx, field))
-        });
-        match split {
-            Some((label, idx, field)) => {
-                labelled.entry((label, field)).or_default().push((idx, value))
+        match split_labelled(key) {
+            Some((prefix, label, idx, field)) => {
+                labelled.entry((prefix, label, field)).or_default().push((idx, value))
             }
             None => plain.push((key, value)),
         }
@@ -74,16 +114,16 @@ fn render_registry(out: &mut String, reg: &Registry) {
         family(out, &name, "counter", &format!("daos-trace counter {key}"));
         out.push_str(&format!("{name} {value}\n"));
     }
-    for ((label, field), entries) in labelled {
-        let name = mangle(&format!("{label}.{field}"));
+    for ((prefix, label, field), entries) in labelled {
+        let name = mangle(&format!("{prefix}.{field}"));
         family(
             out,
             &name,
             "counter",
-            &format!("per-{label} counter {label}.<{label}>.{field}"),
+            &format!("per-{label} counter {prefix}.<{label}>.{field}"),
         );
         for (idx, value) in entries {
-            out.push_str(&format!("{name}{{{label}=\"{idx}\"}} {value}\n"));
+            out.push_str(&format!("{name}{{{label}=\"{}\"}} {value}\n", escape_label(idx)));
         }
     }
     for (key, value) in reg.gauges() {
@@ -91,13 +131,41 @@ fn render_registry(out: &mut String, reg: &Registry) {
         family(out, &name, "gauge", &format!("daos-trace gauge {key}"));
         out.push_str(&format!("{name} {value}\n"));
     }
+    // Histograms fold the same way; labelled ones share one family
+    // header per (prefix, field) with the label on every sample line.
+    let mut labelled_hists: BTreeMap<(&str, &str, &str), Vec<(&str, &Histogram)>> =
+        BTreeMap::new();
     for (key, h) in reg.hists() {
-        hist_lines(out, &mangle(key), h);
+        match split_labelled(key) {
+            Some((prefix, label, idx, field)) => {
+                labelled_hists.entry((prefix, label, field)).or_default().push((idx, h))
+            }
+            None => hist_lines(out, &mangle(key), h),
+        }
+    }
+    for ((prefix, label, field), entries) in labelled_hists {
+        let name = mangle(&format!("{prefix}.{field}"));
+        family(
+            out,
+            &name,
+            "histogram",
+            &format!("per-{label} log2 histogram {prefix}.<{label}>.{field}"),
+        );
+        for (idx, h) in entries {
+            hist_samples(out, &name, Some((label, idx)), h);
+        }
     }
 }
 
 /// Render the full `/metrics` exposition for one snapshot.
 pub fn render(snap: &ObsSnapshot) -> String {
+    render_with(snap, None)
+}
+
+/// Render the `/metrics` exposition for one snapshot, with an optional
+/// extra registry (the obs server's self-telemetry) merged in so both
+/// appear as one well-formed exposition with no duplicate families.
+pub fn render_with(snap: &ObsSnapshot, extra: Option<&Registry>) -> String {
     let mut out = String::new();
     let gauges: [(&str, &str, u64); 6] = [
         ("daos_obs_seq", "snapshot publish sequence number", snap.seq),
@@ -118,7 +186,14 @@ pub fn render(snap: &ObsSnapshot) -> String {
         "events the trace ring overwrote",
     );
     out.push_str(&format!("daos_obs_dropped_events {}\n", snap.dropped_events));
-    render_registry(&mut out, &snap.registry);
+    match extra {
+        None => render_registry(&mut out, &snap.registry),
+        Some(reg) => {
+            let mut merged = snap.registry.clone();
+            merged.merge(reg);
+            render_registry(&mut out, &merged);
+        }
+    }
     out
 }
 
@@ -127,21 +202,73 @@ pub fn render(snap: &ObsSnapshot) -> String {
 pub struct Sample {
     /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
     pub name: String,
-    /// Label pairs as written.
+    /// Label pairs with escape sequences decoded.
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
 }
 
 impl Sample {
-    /// `name{k="v",...}` rendering for map keys in tests.
+    /// `name{k="v",...}` rendering (values re-escaped) for map keys in
+    /// tests — matches the exposition line the sample came from.
     pub fn key(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
         }
-        let labels: Vec<String> =
-            self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
         format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Parse one `k="v",...` label body, decoding `\\`, `\"`, and `\n`
+/// escapes, so quoted values may contain commas and equals signs.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("label without =");
+        }
+        if chars.next() != Some('"') {
+            return Err("unquoted label value");
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value"),
+                },
+                _ => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value");
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(_) => return Err("junk after label value"),
+        }
     }
 }
 
@@ -183,16 +310,7 @@ pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
             None => (series.to_string(), Vec::new()),
             Some((name, rest)) => {
                 let body = rest.strip_suffix('}').ok_or_else(|| err("unclosed label set"))?;
-                let mut labels = Vec::new();
-                for pair in body.split(',') {
-                    let (k, v) = pair.split_once('=').ok_or_else(|| err("label without ="))?;
-                    let v = v
-                        .strip_prefix('"')
-                        .and_then(|v| v.strip_suffix('"'))
-                        .ok_or_else(|| err("unquoted label value"))?;
-                    labels.push((k.to_string(), v.to_string()));
-                }
-                (name.to_string(), labels)
+                (name.to_string(), parse_labels(body).map_err(|e| err(e))?)
             }
         };
         if !valid_name(&name) {
@@ -262,6 +380,79 @@ mod tests {
         assert_eq!(m["daos_tenant_rss_bytes{tenant=\"t1\"}"], 2048.0);
         assert_eq!(m["daos_tenant_nr_processes{tenant=\"t1\"}"], 7.0);
         assert_eq!(m["daos_fleet_nr_processes"], 14.0, "fleet totals stay plain");
+    }
+
+    #[test]
+    fn obs_http_keys_fold_counters_and_histograms_by_endpoint() {
+        let mut reg = Registry::new();
+        reg.counter_add("obs.http.metrics.requests_total", 9);
+        reg.counter_add("obs.http.snapshot.requests_total", 4);
+        reg.hist_record("obs.http.metrics.request_ns", 100);
+        reg.hist_record("obs.http.metrics.request_ns", 100);
+        reg.hist_record("obs.http.snapshot.request_ns", 3000);
+        reg.counter_add("obs.server.accepted_total", 5);
+        let snap = ObsSnapshot { registry: reg, ..Default::default() };
+        let text = render(&snap);
+        let m = sample_map(&text);
+        assert_eq!(m["daos_obs_http_requests_total{endpoint=\"metrics\"}"], 9.0);
+        assert_eq!(m["daos_obs_http_requests_total{endpoint=\"snapshot\"}"], 4.0);
+        assert_eq!(m["daos_obs_http_request_ns_count{endpoint=\"metrics\"}"], 2.0);
+        assert_eq!(m["daos_obs_http_request_ns_sum{endpoint=\"snapshot\"}"], 3000.0);
+        assert_eq!(
+            m["daos_obs_http_request_ns_bucket{endpoint=\"metrics\",le=\"128\"}"],
+            2.0
+        );
+        assert_eq!(m["daos_obs_server_accepted_total"], 5.0, "obs.server.* stays plain");
+        // One family header even with two labelled endpoint histograms.
+        assert_eq!(text.matches("# TYPE daos_obs_http_request_ns histogram").count(), 1);
+    }
+
+    #[test]
+    fn render_with_merges_the_server_registry() {
+        let mut reg = Registry::new();
+        reg.counter_add("monitor.work_ns", 7);
+        let snap = ObsSnapshot { registry: reg, ..Default::default() };
+        let mut server = Registry::new();
+        server.counter_add("obs.http.metrics.requests_total", 2);
+        server.gauge_set("obs.server.in_flight", 1.0);
+        let m = sample_map(&render_with(&snap, Some(&server)));
+        assert_eq!(m["daos_monitor_work_ns"], 7.0);
+        assert_eq!(m["daos_obs_http_requests_total{endpoint=\"metrics\"}"], 2.0);
+        assert_eq!(m["daos_obs_server_in_flight"], 1.0);
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let hostile = "t\"0\\prod\nline2";
+        let mut reg = Registry::new();
+        reg.counter_add(&format!("tenant.{hostile}.rss_bytes"), 512);
+        let snap = ObsSnapshot { registry: reg, ..Default::default() };
+        let text = render(&snap);
+        assert!(
+            text.contains(r#"{tenant="t\"0\\prod\nline2"}"#),
+            "escapes rendered: {text}"
+        );
+        assert!(!text.contains("prod\nline2"), "no raw newline leaks into the line");
+        let samples = parse_exposition(&text).unwrap();
+        let s = samples
+            .iter()
+            .find(|s| s.name == "daos_tenant_rss_bytes")
+            .expect("family present");
+        assert_eq!(s.labels, vec![("tenant".to_string(), hostile.to_string())]);
+        assert_eq!(s.value, 512.0);
+    }
+
+    #[test]
+    fn label_parser_handles_quoted_commas_and_rejects_junk() {
+        let ok = parse_labels(r#"a="x,y=z",b="2""#).unwrap();
+        assert_eq!(
+            ok,
+            vec![("a".into(), "x,y=z".into()), ("b".into(), "2".into())]
+        );
+        assert!(parse_labels(r#"a="unterminated"#).is_err());
+        assert!(parse_labels(r#"a="bad\q""#).is_err(), "unknown escape");
+        assert!(parse_labels(r#"a="x"junk"#).is_err());
+        assert!(parse_labels(r#"="x""#).is_err(), "empty label name");
     }
 
     #[test]

@@ -144,6 +144,17 @@ impl Publisher {
         (tail.events.iter().skip(skip).copied().collect(), next)
     }
 
+    /// Number of events currently buffered in the tail (the `/statusz`
+    /// view of how full the bounded tail is).
+    pub fn tail_len(&self) -> usize {
+        self.shared
+            .tail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .events
+            .len()
+    }
+
     /// Events that never reached the tail (ring overwrites between syncs
     /// plus tail evictions).
     pub fn missed_events(&self) -> u64 {

@@ -1,52 +1,391 @@
-//! The observability endpoint: a tiny thread-per-connection HTTP/1.1
-//! server over a [`Publisher`]. Routes:
+//! The observability endpoint: an HTTP/1.1 server over a [`Publisher`],
+//! built on a **bounded worker pool** (`daos_util::pool`, the same pool
+//! that drives the fleet engine) instead of a thread per connection.
+//! Routes:
 //!
-//! - `GET /metrics` — Prometheus text exposition of the latest snapshot
+//! - `GET /metrics` — Prometheus text exposition of the latest snapshot,
+//!   with the server's own per-endpoint telemetry merged in as
+//!   `daos_obs_http_*{endpoint=...}` and `daos_obs_server_*` families
 //! - `GET /snapshot` — the full [`ObsSnapshot`] as compact JSON
 //! - `GET /events` — chunked live JSONL tail of the trace ring; streams
 //!   until the run finishes, then drains and terminates
 //! - `GET /healthz` — liveness probe (`ok`)
+//! - `GET /statusz` — compact JSON view of the server's own state
+//!   (in-flight, accepted/rejected, per-endpoint p50/p99)
+//!
+//! `HEAD` works everywhere (headers only); malformed requests get a
+//! `400`; other methods get a `405`.
+//!
+//! ## Serving model
+//!
+//! Accepted connections join a shared queue; `workers` pool tasks
+//! ("pumps") take turns serving one request per connection pass, so a
+//! fixed number of threads multiplexes every keep-alive connection.
+//! A pump peeks each connection with a short timeout: data ready means
+//! one full request is served (and the connection requeued), idle
+//! connections are requeued until [`ObsConfig::keepalive_idle`] expires.
+//! When [`ObsConfig::max_connections`] connections are already open, the
+//! accept loop answers `503` with `Retry-After` and closes — saturation
+//! is explicit backpressure, never an unbounded thread spawn. A live
+//! `/events` stream pins its pump until the run finishes or the client
+//! goes away (write errors exit the stream promptly).
 
 use crate::http::{
-    finish_chunked, read_request, start_chunked, write_chunk, write_response, Request,
+    finish_chunked, read_request, start_chunked, write_chunk, write_response_with,
+    Request, ResponseOpts,
 };
 use crate::prom;
 use crate::publisher::Publisher;
-use daos_util::json::ToJson;
+use daos_trace::{Histogram, Registry};
+use daos_util::json::{Json, ToJson};
+use daos_util::pool::WorkerPool;
+use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often `/events` polls the publisher for fresh events.
 const EVENTS_POLL: Duration = Duration::from_millis(50);
 
-/// A running observability server. Binding spawns the accept loop on a
+/// How long a pump waits on one idle connection's socket for the next
+/// request before requeueing it and moving on.
+const PEEK_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// How long an idle pump parks on the connection queue before
+/// re-checking the stop flag.
+const PUMP_IDLE: Duration = Duration::from_millis(50);
+
+/// How long the accept loop waits for a rejected connection's request
+/// before answering `503` — reading the request first keeps the
+/// response from racing the client's write (a close with unread input
+/// turns into a RST that can discard the 503 before the client sees
+/// it).
+const REJECT_DRAIN: Duration = Duration::from_millis(100);
+
+/// Tuning for the obs server's worker pool and admission policy.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Pool workers serving requests; `0` picks
+    /// `default_parallelism` clamped to `[2, 8]`.
+    pub workers: usize,
+    /// Open-connection bound; the accept loop answers `503` beyond it.
+    pub max_connections: usize,
+    /// Socket read timeout once a request has started arriving.
+    pub read_timeout: Duration,
+    /// Socket write timeout (responses and `/events` chunks).
+    pub write_timeout: Duration,
+    /// How long an idle keep-alive connection is kept before closing.
+    pub keepalive_idle: Duration,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            workers: 0,
+            max_connections: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            keepalive_idle: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ObsConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            WorkerPool::default_parallelism().clamp(2, 8)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// The endpoints the server distinguishes in its self-telemetry; the
+/// label value in `daos_obs_http_*{endpoint=...}` families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/healthz`.
+    Healthz,
+    /// `/metrics`.
+    Metrics,
+    /// `/snapshot`.
+    Snapshot,
+    /// `/events`.
+    Events,
+    /// `/statusz`.
+    Statusz,
+    /// Anything else (404s and non-GET/HEAD methods).
+    Other,
+}
+
+const NR_ENDPOINTS: usize = 6;
+
+impl Endpoint {
+    /// Every endpoint, in telemetry order.
+    pub const ALL: [Endpoint; NR_ENDPOINTS] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Snapshot,
+        Endpoint::Events,
+        Endpoint::Statusz,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value (and `obs.http.<key>.*` registry
+    /// segment).
+    pub fn key(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Snapshot => "snapshot",
+            Endpoint::Events => "events",
+            Endpoint::Statusz => "statusz",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn of(path: &str) -> Endpoint {
+        match path {
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            "/snapshot" => Endpoint::Snapshot,
+            "/events" => Endpoint::Events,
+            "/statusz" => Endpoint::Statusz,
+            _ => Endpoint::Other,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Telemetry state stays internally consistent under panic (each
+    // histogram/counter update is self-contained), so poison recovery
+    // beats taking the server down.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    request_ns: Mutex<Histogram>,
+    response_bytes: Mutex<Histogram>,
+}
+
+/// The server's self-telemetry: lock-free counters plus mutexed log2
+/// histograms per endpoint, materialized into a [`Registry`] on demand
+/// so `/metrics` can self-report without the handlers sharing a lock on
+/// the hot path.
+struct ServerStats {
+    endpoints: [EndpointStats; NR_ENDPOINTS],
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    keepalive_reuse: AtomicU64,
+    in_flight: AtomicU64,
+    workers: usize,
+}
+
+impl ServerStats {
+    fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            endpoints: std::array::from_fn(|_| EndpointStats::default()),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            keepalive_reuse: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    fn record(&self, ep: Endpoint, started: Instant, bytes: usize) {
+        let s = &self.endpoints[ep as usize];
+        // ordering: Relaxed — monotonic telemetry counter; readers only
+        // ever observe it through point-in-time registry snapshots.
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        lock(&s.request_ns).record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        lock(&s.response_bytes).record(bytes as u64);
+    }
+
+    /// Materialize the telemetry as `obs.http.<endpoint>.*` /
+    /// `obs.server.*` registry keys (the `/metrics` fold input).
+    fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep as usize];
+            // ordering: Relaxed — telemetry read; exactness across
+            // concurrent requests is not required for a scrape.
+            let requests = s.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            reg.counter_add(&format!("obs.http.{}.requests_total", ep.key()), requests);
+            reg.hist_insert(&format!("obs.http.{}.request_ns", ep.key()), &lock(&s.request_ns));
+            reg.hist_insert(
+                &format!("obs.http.{}.response_bytes", ep.key()),
+                &lock(&s.response_bytes),
+            );
+        }
+        // ordering: Relaxed — monotonic telemetry counter scrape.
+        reg.counter_add("obs.server.accepted_total", self.accepted.load(Ordering::Relaxed));
+        // ordering: Relaxed — monotonic telemetry counter scrape.
+        reg.counter_add("obs.server.rejected_total", self.rejected.load(Ordering::Relaxed));
+        reg.counter_add(
+            "obs.server.bad_requests_total",
+            // ordering: Relaxed — monotonic telemetry counter scrape.
+            self.bad_requests.load(Ordering::Relaxed),
+        );
+        reg.counter_add(
+            "obs.server.keepalive_reuse_total",
+            // ordering: Relaxed — monotonic telemetry counter scrape.
+            self.keepalive_reuse.load(Ordering::Relaxed),
+        );
+        // ordering: Relaxed — advisory point-in-time gauge.
+        reg.gauge_set("obs.server.in_flight", self.in_flight.load(Ordering::Relaxed) as f64);
+        reg.gauge_set("obs.server.workers", self.workers as f64);
+        reg
+    }
+}
+
+/// One accepted connection moving through the queue between pump turns.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Requests already answered on this connection (keep-alive reuse).
+    served: u64,
+    idle_since: Instant,
+}
+
+struct Inner {
+    publisher: Publisher,
+    cfg: ObsConfig,
+    stats: ServerStats,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cv: Condvar,
+}
+
+impl Inner {
+    fn close(&self, conn: Conn) {
+        drop(conn);
+        // ordering: Relaxed — in_flight is an advisory admission gauge;
+        // a slightly stale value only shifts the 503 boundary by one.
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn requeue(&self, conn: Conn) {
+        lock(&self.queue).push_back(conn);
+        self.queue_cv.notify_one();
+    }
+
+    /// The self-telemetry registry, plus the live queue-depth gauge.
+    fn telemetry(&self) -> Registry {
+        let mut reg = self.stats.to_registry();
+        reg.gauge_set("obs.server.queued_connections", lock(&self.queue).len() as f64);
+        reg
+    }
+
+    /// The `/statusz` body: the server's own state as compact JSON.
+    fn statusz(&self) -> String {
+        let mut endpoints = Vec::new();
+        for ep in Endpoint::ALL {
+            let s = &self.stats.endpoints[ep as usize];
+            // ordering: Relaxed — telemetry read for a status page.
+            let requests = s.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            let h = lock(&s.request_ns);
+            endpoints.push((
+                ep.key().to_string(),
+                Json::Object(vec![
+                    ("requests_total".into(), Json::U64(requests)),
+                    ("p50_ns".into(), Json::U64(h.percentile(50.0))),
+                    ("p99_ns".into(), Json::U64(h.percentile(99.0))),
+                ]),
+            ));
+        }
+        Json::Object(vec![
+            ("workers".into(), Json::U64(self.stats.workers as u64)),
+            ("max_connections".into(), Json::U64(self.cfg.max_connections as u64)),
+            // ordering: Relaxed — advisory point-in-time telemetry read.
+            ("in_flight".into(), Json::U64(self.stats.in_flight.load(Ordering::Relaxed))),
+            ("queued_connections".into(), Json::U64(lock(&self.queue).len() as u64)),
+            // ordering: Relaxed — advisory point-in-time telemetry read.
+            ("accepted_total".into(), Json::U64(self.stats.accepted.load(Ordering::Relaxed))),
+            // ordering: Relaxed — advisory point-in-time telemetry read.
+            ("rejected_total".into(), Json::U64(self.stats.rejected.load(Ordering::Relaxed))),
+            (
+                "bad_requests_total".into(),
+                // ordering: Relaxed — advisory point-in-time telemetry read.
+                Json::U64(self.stats.bad_requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "keepalive_reuse_total".into(),
+                // ordering: Relaxed — advisory point-in-time telemetry read.
+                Json::U64(self.stats.keepalive_reuse.load(Ordering::Relaxed)),
+            ),
+            ("tail_events".into(), Json::U64(self.publisher.tail_len() as u64)),
+            ("finished".into(), Json::Bool(self.publisher.is_finished())),
+            ("endpoints".into(), Json::Object(endpoints)),
+        ])
+        .to_string_compact()
+    }
+}
+
+/// A running observability server: a bounded worker pool multiplexing
+/// keep-alive connections, with explicit 503 backpressure and
+/// per-endpoint self-telemetry. Binding spawns the accept loop on a
 /// background thread; dropping (or [`shutdown`](Self::shutdown)) stops
-/// it. Connection handlers are detached and bounded by the routes they
-/// serve — every route except a live `/events` stream responds once and
-/// closes.
+/// it and joins everything.
 pub struct ObsServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    inner: Arc<Inner>,
     accept_thread: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
 }
 
 impl ObsServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// serving `publisher`. The actually bound address is
-    /// [`addr`](Self::addr).
+    /// serving `publisher` with the default [`ObsConfig`].
     pub fn bind(addr: &str, publisher: Publisher) -> io::Result<ObsServer> {
+        Self::bind_with(addr, publisher, ObsConfig::default())
+    }
+
+    /// Bind with explicit tuning. The actually bound address is
+    /// [`addr`](Self::addr).
+    pub fn bind_with(
+        addr: &str,
+        publisher: Publisher,
+        cfg: ObsConfig,
+    ) -> io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = stop.clone();
+        let workers = cfg.effective_workers();
+        let inner = Arc::new(Inner {
+            publisher,
+            stats: ServerStats::new(workers),
+            cfg,
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+        });
+        // One long-lived pump per pool worker; work stealing spreads
+        // them across the workers, and any surplus pumps simply exit at
+        // shutdown — correctness never depends on the spread, only
+        // concurrency does.
+        let pool = WorkerPool::new(workers);
+        for _ in 0..workers {
+            let inner = inner.clone();
+            pool.submit(move || pump(&inner));
+        }
+        let accept_inner = inner.clone();
         let accept_thread = thread::Builder::new()
             .name("daos-obs-accept".into())
-            .spawn(move || accept_loop(listener, publisher, flag))?;
-        Ok(ObsServer { addr, stop, accept_thread: Some(accept_thread) })
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(ObsServer { addr, inner, accept_thread: Some(accept_thread), pool: Some(pool) })
     }
 
     /// The bound socket address.
@@ -54,18 +393,69 @@ impl ObsServer {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop. Live
-    /// `/events` streams notice the flag within one poll interval.
+    /// Stop accepting, wake every pump, and join the accept loop and
+    /// the worker pool. Live `/events` streams notice the flag within
+    /// one poll interval.
     pub fn shutdown(&mut self) {
         // ordering: Release pairs with the Acquire loads in the accept
-        // loop and the event streamers; the flag is the only shared
-        // state, so no stronger ordering is needed.
-        self.stop.store(true, Ordering::Release);
+        // loop, the pumps, and the event streamers; the flag is the only
+        // state they synchronize on.
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
         // Unblock the accept() call with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Dropping the pool joins the pump workers (they exit on the
+        // stop flag; in-progress turns finish their current request).
+        self.pool = None;
+        // Close connections still parked in the queue so keep-alive
+        // clients see EOF now instead of a read timeout later.
+        lock(&self.inner.queue).clear();
+    }
+
+    /// The self-telemetry as a [`Registry`] (`obs.http.*` /
+    /// `obs.server.*` keys) — what `/metrics` merges into the snapshot
+    /// exposition.
+    pub fn telemetry(&self) -> Registry {
+        self.inner.telemetry()
+    }
+
+    /// Requests served on `ep` so far.
+    pub fn requests_total(&self, ep: Endpoint) -> u64 {
+        // ordering: Relaxed — telemetry counter read.
+        self.inner.stats.endpoints[ep as usize].requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections admitted past the 503 gate.
+    pub fn accepted_total(&self) -> u64 {
+        // ordering: Relaxed — telemetry counter read.
+        self.inner.stats.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections answered `503` at the admission gate.
+    pub fn rejected_total(&self) -> u64 {
+        // ordering: Relaxed — telemetry counter read.
+        self.inner.stats.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered `400` (malformed request line).
+    pub fn bad_requests_total(&self) -> u64 {
+        // ordering: Relaxed — telemetry counter read.
+        self.inner.stats.bad_requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on an already-used keep-alive connection.
+    pub fn keepalive_reuse_total(&self) -> u64 {
+        // ordering: Relaxed — telemetry counter read.
+        self.inner.stats.keepalive_reuse.load(Ordering::Relaxed)
+    }
+
+    /// Open connections right now (served + queued).
+    pub fn in_flight(&self) -> u64 {
+        // ordering: Relaxed — advisory gauge read.
+        self.inner.stats.in_flight.load(Ordering::Relaxed)
     }
 }
 
@@ -75,72 +465,222 @@ impl Drop for ObsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, publisher: Publisher, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     for conn in listener.incoming() {
         // ordering: Acquire pairs with the Release store in `shutdown`.
-        if stop.load(Ordering::Acquire) {
+        if inner.stop.load(Ordering::Acquire) {
             return;
         }
         let Ok(stream) = conn else { continue };
-        let publisher = publisher.clone();
-        let stop = stop.clone();
-        let _ = thread::Builder::new().name("daos-obs-conn".into()).spawn(move || {
-            // Handler errors mean the client went away; nothing to do.
-            let _ = handle_connection(stream, &publisher, &stop);
+        // ordering: Relaxed — in_flight is an advisory admission gauge;
+        // racing a close only shifts the 503 boundary by one connection.
+        if inner.stats.in_flight.load(Ordering::Relaxed) >= inner.cfg.max_connections as u64 {
+            // ordering: Relaxed — monotonic telemetry counter.
+            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_read_timeout(Some(REJECT_DRAIN));
+            let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+            let _ = stream.set_nodelay(true);
+            let _ = read_request(&mut BufReader::new(&stream));
+            let _ = write_response_with(
+                &mut (&stream),
+                503,
+                "text/plain",
+                "obs server saturated\n",
+                ResponseOpts { retry_after: Some(1), ..Default::default() },
+            );
+            continue;
+        }
+        if stream.set_write_timeout(Some(inner.cfg.write_timeout)).is_err() {
+            continue;
+        }
+        // Chunked `/events` frames and pipelined keep-alive turns are
+        // many small writes; Nagle + delayed ACK would serialize them at
+        // ~40ms each.
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else { continue };
+        // ordering: Relaxed — monotonic telemetry counter.
+        inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — advisory admission gauge; over-admitting
+        // by a racing accept is acceptable backpressure slack.
+        inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        inner.requeue(Conn {
+            stream,
+            reader: BufReader::new(read_half),
+            served: 0,
+            idle_since: Instant::now(),
         });
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    publisher: &Publisher,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let Some(req) = read_request(&mut reader)? else { return Ok(()) };
-    let mut stream = stream;
-    route(&mut stream, &req, publisher, stop)
+/// One pool worker's serve loop: pop a connection, give it one turn,
+/// repeat until shutdown.
+fn pump(inner: &Inner) {
+    loop {
+        let mut q = lock(&inner.queue);
+        let conn = loop {
+            // ordering: Acquire pairs with the Release store in
+            // `shutdown`.
+            if inner.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(c) = q.pop_front() {
+                break c;
+            }
+            q = inner
+                .queue_cv
+                .wait_timeout(q, PUMP_IDLE)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        };
+        drop(q);
+        serve_turn(conn, inner);
+    }
 }
 
-fn route(
-    stream: &mut TcpStream,
-    req: &Request,
-    publisher: &Publisher,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    if req.method != "GET" {
-        return write_response(stream, 405, "text/plain", "only GET is supported\n");
+/// Give one connection one turn: serve a request if bytes are ready,
+/// requeue if idle, close on EOF/expiry/error.
+fn serve_turn(mut conn: Conn, inner: &Inner) {
+    // Pipelined bytes already buffered count as ready; otherwise peek
+    // the socket briefly so one idle connection can't hold the pump.
+    if conn.reader.buffer().is_empty() {
+        let _ = conn.stream.set_read_timeout(Some(PEEK_TIMEOUT));
+        let mut probe = [0u8; 1];
+        match conn.stream.peek(&mut probe) {
+            Ok(0) => return inner.close(conn), // clean EOF
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if conn.idle_since.elapsed() >= inner.cfg.keepalive_idle {
+                    return inner.close(conn);
+                }
+                return inner.requeue(conn);
+            }
+            Err(_) => return inner.close(conn),
+        }
+    }
+    // A request has started arriving: block for the rest of it under the
+    // full read timeout.
+    let _ = conn.stream.set_read_timeout(Some(inner.cfg.read_timeout));
+    let started = Instant::now();
+    let req = match read_request(&mut conn.reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return inner.close(conn),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // ordering: Relaxed — monotonic telemetry counter.
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            // Framing is untrustworthy after a parse error: answer and
+            // close rather than hunt for the next request boundary.
+            let _ = write_response_with(
+                &mut conn.stream,
+                400,
+                "text/plain",
+                "bad request\n",
+                ResponseOpts::default(),
+            );
+            return inner.close(conn);
+        }
+        Err(_) => return inner.close(conn),
+    };
+    if conn.served > 0 {
+        // ordering: Relaxed — monotonic telemetry counter.
+        inner.stats.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+    match route(&mut conn, &req, inner, started) {
+        Ok(true) => {
+            conn.served += 1;
+            conn.idle_since = Instant::now();
+            inner.requeue(conn);
+        }
+        Ok(false) | Err(_) => inner.close(conn),
+    }
+}
+
+/// Serve one request; `Ok(true)` keeps the connection alive.
+fn route(conn: &mut Conn, req: &Request, inner: &Inner, started: Instant) -> io::Result<bool> {
+    // Stats are recorded *before* the response write throughout: once a
+    // client has read its response, the server has provably counted the
+    // request — the equality pin the load tests and obs_bench rely on.
+    // (`/metrics` renders its body first, so a scrape still reports the
+    // totals from before itself.)
+    let head = req.method == "HEAD";
+    if req.method != "GET" && !head {
+        let body = "only GET and HEAD are supported\n";
+        inner.stats.record(Endpoint::Other, started, body.len());
+        write_response_with(
+            &mut conn.stream,
+            405,
+            "text/plain",
+            body,
+            ResponseOpts { keep_alive: req.keep_alive, ..Default::default() },
+        )?;
+        return Ok(req.keep_alive);
     }
     let path = req.path.split('?').next().unwrap_or("");
-    match path {
-        "/healthz" => write_response(stream, 200, "text/plain", "ok\n"),
-        "/metrics" => {
-            let body = prom::render(&publisher.snapshot());
-            write_response(stream, 200, "text/plain; version=0.0.4", &body)
+    let ep = Endpoint::of(path);
+    let (status, ctype, body) = match ep {
+        Endpoint::Healthz => (200, "text/plain", "ok\n".to_string()),
+        Endpoint::Metrics => {
+            let body =
+                prom::render_with(&inner.publisher.snapshot(), Some(&inner.telemetry()));
+            (200, "text/plain; version=0.0.4", body)
         }
-        "/snapshot" => {
-            let body = publisher.snapshot().to_json().to_string_compact();
-            write_response(stream, 200, "application/json", &body)
+        Endpoint::Snapshot => (
+            200,
+            "application/json",
+            inner.publisher.snapshot().to_json().to_string_compact(),
+        ),
+        Endpoint::Statusz => (200, "application/json", inner.statusz()),
+        Endpoint::Events => {
+            if head {
+                inner.stats.record(Endpoint::Events, started, 0);
+                write_response_with(
+                    &mut conn.stream,
+                    200,
+                    "application/jsonl",
+                    "",
+                    ResponseOpts { keep_alive: req.keep_alive, head_only: true, retry_after: None },
+                )?;
+                return Ok(req.keep_alive);
+            }
+            // Record before the terminal chunk so the count lands ahead
+            // of the client seeing the stream complete.
+            let written = match stream_events(&mut conn.stream, inner) {
+                Ok(n) => n,
+                Err(e) => {
+                    inner.stats.record(Endpoint::Events, started, 0);
+                    return Err(e);
+                }
+            };
+            inner.stats.record(Endpoint::Events, started, written);
+            finish_chunked(&mut conn.stream)?;
+            // The chunked stream announced `Connection: close`.
+            return Ok(false);
         }
-        "/events" => stream_events(stream, publisher, stop),
-        _ => write_response(stream, 404, "text/plain", "unknown path\n"),
-    }
+        Endpoint::Other => (404, "text/plain", "unknown path\n".to_string()),
+    };
+    inner.stats.record(ep, started, if head { 0 } else { body.len() });
+    write_response_with(
+        &mut conn.stream,
+        status,
+        ctype,
+        &body,
+        ResponseOpts { keep_alive: req.keep_alive, head_only: head, retry_after: None },
+    )?;
+    Ok(req.keep_alive)
 }
 
 /// Stream the live event tail as chunked JSONL: one event object per
 /// line, new lines as the publisher syncs them, terminating once the run
-/// is finished (after a final drain) or the server shuts down.
-fn stream_events(
-    stream: &mut TcpStream,
-    publisher: &Publisher,
-    stop: &AtomicBool,
-) -> io::Result<()> {
+/// is finished (after a final drain) or the server shuts down. A write
+/// error (stalled or vanished client) exits promptly — the socket's
+/// write timeout bounds every chunk — freeing the pump for other
+/// connections. Returns the body bytes written.
+fn stream_events(stream: &mut TcpStream, inner: &Inner) -> io::Result<usize> {
     start_chunked(stream, "application/jsonl")?;
     let mut cursor = 0u64;
+    let mut written = 0usize;
     loop {
-        let finished = publisher.is_finished();
-        let (events, next) = publisher.events_since(cursor);
+        let finished = inner.publisher.is_finished();
+        let (events, next) = inner.publisher.events_since(cursor);
         if !events.is_empty() {
             let mut batch = String::new();
             for ev in &events {
@@ -148,13 +688,15 @@ fn stream_events(
                 batch.push('\n');
             }
             write_chunk(stream, &batch)?;
+            written += batch.len();
             cursor = next;
         }
         // Checking `finished` before the drain guarantees the final
-        // events published before the flag flipped were sent.
+        // events published before the flag flipped were sent. The caller
+        // writes the terminal chunk (after recording stats).
         // ordering: Acquire pairs with the Release store in `shutdown`.
-        if finished || stop.load(Ordering::Acquire) {
-            return finish_chunked(stream);
+        if finished || inner.stop.load(Ordering::Acquire) {
+            return Ok(written);
         }
         thread::sleep(EVENTS_POLL);
     }
@@ -163,7 +705,7 @@ fn stream_events(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::http_get;
+    use crate::http::{http_get, HttpClient};
     use crate::snapshot::ObsSnapshot;
     use daos_trace::{Collector, Event};
     use daos_util::json::FromJson;
@@ -197,6 +739,16 @@ mod tests {
         assert_eq!(metrics.status, 200);
         let samples = prom::parse_exposition(&metrics.body).unwrap();
         assert!(samples.iter().any(|s| s.name == "daos_obs_seq" && s.value == 3.0));
+        // The server observes itself: the healthz hit above shows up.
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "daos_obs_http_requests_total"
+                    && s.labels == vec![("endpoint".to_string(), "healthz".to_string())]
+                    && s.value == 1.0
+            }),
+            "self-telemetry folds into /metrics: {}",
+            metrics.body
+        );
 
         let snap = http_get(addr, "/snapshot", T).unwrap();
         assert_eq!(snap.status, 200);
@@ -205,6 +757,48 @@ mod tests {
         assert_eq!((parsed.seq, parsed.epoch, parsed.wss_bytes), (3, 9, 1 << 20));
 
         assert_eq!(http_get(addr, "/nope", T).unwrap().status, 404);
+    }
+
+    #[test]
+    fn statusz_reports_server_state() {
+        let (server, _publisher) = server_with_state();
+        let _ = http_get(server.addr(), "/healthz", T).unwrap();
+        let resp = http_get(server.addr(), "/statusz", T).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = daos_util::json::parse(&resp.body).unwrap();
+        assert_eq!(v.field::<u64>("rejected_total").unwrap(), 0);
+        assert!(v.field::<u64>("accepted_total").unwrap() >= 2);
+        assert!(v.field::<u64>("workers").unwrap() >= 2);
+        let endpoints = v.get("endpoints").unwrap();
+        let healthz = endpoints.get("healthz").unwrap();
+        assert_eq!(healthz.field::<u64>("requests_total").unwrap(), 1);
+    }
+
+    #[test]
+    fn head_and_bad_requests_are_answered() {
+        let (server, _publisher) = server_with_state();
+        let mut client = HttpClient::connect(server.addr(), T).unwrap();
+        let head = client.request("HEAD", "/metrics").unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.body.is_empty());
+        assert!(
+            head.header("content-length").unwrap().parse::<usize>().unwrap() > 0,
+            "HEAD announces the length it would have sent"
+        );
+        // A keep-alive HEAD leaves the connection usable.
+        let next = client.get("/healthz").unwrap();
+        assert_eq!((next.status, next.body.as_str()), (200, "ok\n"));
+        assert_eq!(client.request("POST", "/metrics").unwrap().status, 405);
+
+        // A malformed request line gets 400, not a silent close.
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        raw.set_read_timeout(Some(T)).unwrap();
+        raw.write_all(b"utter nonsense\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        raw.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400 Bad Request"), "{resp}");
+        assert_eq!(server.bad_requests_total(), 1);
     }
 
     #[test]

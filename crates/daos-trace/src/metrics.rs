@@ -77,6 +77,22 @@ impl Histogram {
         }
     }
 
+    /// Fold `other` into `self`: bucket-wise addition with the exact
+    /// `count`/`sum`/`min`/`max` sidecars combined. Merging an empty
+    /// histogram is a no-op (the empty-`min` sentinel never leaks).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Occupied buckets as `(bucket_index, count)`, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -204,6 +220,19 @@ impl Registry {
         }
     }
 
+    /// Fold a whole pre-aggregated histogram into `name`, merging with
+    /// any existing series — how subsystems that aggregate off-registry
+    /// (e.g. the obs server's per-endpoint telemetry, held in atomics
+    /// and mutexed histograms) materialize a `Registry` on demand.
+    pub fn hist_insert(&mut self, name: &str, h: &Histogram) {
+        match self.hists.get_mut(name) {
+            Some(mine) => mine.merge(h),
+            None => {
+                self.hists.insert(name.to_string(), h.clone());
+            }
+        }
+    }
+
     /// Counter value (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -217,6 +246,27 @@ impl Registry {
     /// Histogram, if ever written.
     pub fn hist(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)
+    }
+
+    /// Merge `other` into `self`: counters add, gauges are last-write-
+    /// wins (`other` wins), histograms fold bucket-wise. Used by the obs
+    /// plane to combine a run's registry snapshot with the HTTP server's
+    /// self-telemetry into one `/metrics` exposition.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, value) in other.counters() {
+            self.counter_add(key, value);
+        }
+        for (key, value) in other.gauges() {
+            self.gauge_set(key, value);
+        }
+        for (key, h) in other.hists() {
+            match self.hists.get_mut(key) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(key.to_string(), h.clone());
+                }
+            }
+        }
     }
 
     /// True when no metric key has ever been written — the pin the
@@ -360,6 +410,36 @@ mod tests {
         zeros.record(0);
         zeros.record(0);
         assert_eq!(zeros.percentile(95.0), 0);
+    }
+
+    #[test]
+    fn registries_merge_counters_gauges_and_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c.x", 5);
+        a.gauge_set("g.x", 1.0);
+        a.hist_record("h.x", 8);
+        let mut b = Registry::new();
+        b.counter_add("c.x", 7);
+        b.counter_add("c.y", 1);
+        b.gauge_set("g.x", 2.0);
+        b.hist_record("h.x", 100);
+        b.hist_record("h.y", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("c.x"), 12);
+        assert_eq!(a.counter("c.y"), 1);
+        assert_eq!(a.gauge("g.x"), Some(2.0), "gauges are last-write-wins");
+        let h = a.hist("h.x").unwrap();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 108, 8, 100));
+        assert_eq!(a.hist("h.y").unwrap().count(), 1);
+        // Merging an empty histogram keeps the empty-min sentinel intact.
+        let mut h = Histogram::default();
+        h.merge(&Histogram::default());
+        assert_eq!(h, Histogram::default());
+        h.record(4);
+        let mut full = Histogram::default();
+        full.record(9);
+        full.merge(&h);
+        assert_eq!((full.count(), full.min(), full.max()), (2, 4, 9));
     }
 
     #[test]

@@ -179,6 +179,22 @@ impl WorkerPool {
         }
     }
 
+    /// Submit one fire-and-forget task. Unlike [`run_batch`] the caller
+    /// does not wait: the task runs whenever a worker frees up, and its
+    /// completion is the submitter's business to observe (a long-lived
+    /// consumer like the obs server parks its own loops in the pool this
+    /// way — one submitted pump per worker). Panics in the task are
+    /// swallowed by the worker loop exactly as for batch tasks.
+    ///
+    /// [`run_batch`]: Self::run_batch
+    pub fn submit<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.queues.push(Box::new(task));
+        self.shared.notify(false);
+    }
+
     /// Run `tasks` to completion across the workers and return their
     /// results in submission order. The caller blocks until the whole
     /// batch finished; worker threads and queues are reused, so a tick
@@ -414,6 +430,38 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.executed.len(), 3);
         assert_eq!(stats.executed.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn submitted_tasks_run_without_a_waiting_caller() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..16u64 {
+            let hits = hits.clone();
+            pool.submit(move || {
+                // ordering: Relaxed — the pool's Drop join is the
+                // synchronisation point the final assert relies on.
+                hits.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins the workers, so every submitted task ran
+        // ordering: Relaxed — the join above is the synchronisation.
+        assert_eq!(hits.load(Ordering::Relaxed), (1..=16).sum::<u64>());
+    }
+
+    #[test]
+    fn submit_and_run_batch_share_the_queues() {
+        let pool = WorkerPool::new(3);
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        // ordering: Release pairs with the Acquire load after the batch.
+        pool.submit(move || f.store(true, Ordering::Release));
+        let out = pool.run_batch((0..8u64).map(|i| move || i * 3).collect::<Vec<_>>());
+        assert_eq!(out, (0..8u64).map(|i| i * 3).collect::<Vec<_>>());
+        drop(pool);
+        // ordering: Acquire pairs with the Release store in the task.
+        assert!(flag.load(Ordering::Acquire));
     }
 
     #[test]

@@ -140,6 +140,18 @@ target/release/obs-get "$faddr" /metrics > "$tmp/fleet_metrics.txt" || {
     kill "$fleet_pid" 2>/dev/null
     exit 1
 }
+# The server's own /statusz must answer with its worker-pool state.
+target/release/obs-get "$faddr" /statusz > "$tmp/fleet_statusz.txt" || {
+    echo "FAIL: fleet /statusz unreachable"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+grep -q '"in_flight"' "$tmp/fleet_statusz.txt" || {
+    echo "FAIL: /statusz lacks the in_flight gauge"
+    cat "$tmp/fleet_statusz.txt"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
 kill "$fleet_pid" 2>/dev/null
 wait "$fleet_pid" 2>/dev/null || true
 grep -q 'daos_tenant_rss_bytes{tenant="t3"}' "$tmp/fleet_metrics.txt" || {
@@ -168,6 +180,27 @@ target/release/fleet_bench --check "$tmp/fleet_bench.json" \
     echo "(compare $tmp/fleet_bench.json against BENCH_fleet.json; if the"
     echo "slowdown is intentional, regenerate the baseline with"
     echo "'cargo run --release -p daos-bench --bin fleet_bench')"
+    exit 1
+}
+echo "ok"
+
+echo "== bench obs: load-test p50s within baseline, counts equality-pinned =="
+# The obs server under a 200-client keep-alive storm per endpoint.
+# obs_bench refuses to write an artifact unless the server's own
+# daos_obs_http_requests_total{endpoint=...} exactly matches the
+# client-side request counts, so this step also proves the server's
+# self-telemetry under load. The gate compares per-endpoint p50s.
+DAOS_BENCH_OUT="$tmp/obs_bench.json" target/release/obs_bench > /dev/null
+[ -s "$tmp/obs_bench.json" ] || { echo "FAIL: obs bench artifact empty"; exit 1; }
+target/release/obs_bench --check BENCH_obs.json || {
+    echo "FAIL: committed BENCH_obs.json is not well-formed JSON"; exit 1
+}
+target/release/obs_bench --check "$tmp/obs_bench.json" \
+    --baseline BENCH_obs.json --margin 150 || {
+    echo "FAIL: obs endpoint latency regressed past the committed baseline + margin"
+    echo "(compare $tmp/obs_bench.json against BENCH_obs.json; if the"
+    echo "slowdown is intentional, regenerate the baseline with"
+    echo "'cargo run --release -p daos-bench --bin obs_bench')"
     exit 1
 }
 echo "ok"

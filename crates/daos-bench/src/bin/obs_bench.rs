@@ -1,6 +1,7 @@
 //! The obs plane under fire: storms of concurrent keep-alive clients
-//! hammer a live `ObsServer`'s `/metrics`, `/snapshot`, and `/events`
-//! endpoints, recording sustained RPS and p50/p95/p99 request latency
+//! hammer a live `ObsServer`'s `/metrics`, `/snapshot`, `/events`,
+//! `/statusz`, and `/query` (metric-history) endpoints, recording
+//! sustained RPS and p50/p95/p99 request latency
 //! per endpoint into `BENCH_obs.json` at the repo root as the
 //! regression baseline. Before writing, the harness cross-checks the
 //! server's own `daos_obs_http_requests_total{endpoint=...}`
@@ -20,7 +21,8 @@ use std::time::{Duration, Instant};
 
 /// The latencies gated against the committed baseline (on `median_ns`,
 /// i.e. the storm p50).
-const GATED: [&str; 3] = ["obs/metrics", "obs/snapshot", "obs/events"];
+const GATED: [&str; 5] =
+    ["obs/metrics", "obs/snapshot", "obs/events", "obs/statusz", "obs/query"];
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -217,10 +219,12 @@ fn main() {
 
     // Keep-alive storms for the snapshot-backed endpoints; `/events` is
     // one request per connection by design (chunked, Connection: close).
-    let plan: [(&str, &str, bool); 3] = [
+    let plan: [(&str, &str, bool); 5] = [
         ("obs/metrics", "/metrics", true),
         ("obs/snapshot", "/snapshot", true),
         ("obs/events", "/events", false),
+        ("obs/statusz", "/statusz", true),
+        ("obs/query", "/query?metric=daos_obs_seq&agg=last", true),
     ];
     let mut results: Vec<(String, LoadStats)> = Vec::new();
     for (bench, path, keep_alive) in plan {
@@ -238,7 +242,7 @@ fn main() {
     // endpoint — /metrics included — pins to clients * requests.
     let expected = (clients * requests) as u64;
     let counts = server_side_counts(addr);
-    for endpoint in ["metrics", "snapshot", "events"] {
+    for endpoint in ["metrics", "snapshot", "events", "statusz", "query"] {
         let counted =
             counts.iter().find(|(e, _)| e == endpoint).map(|(_, n)| *n).unwrap_or(0);
         if counted != expected {

@@ -406,6 +406,37 @@ pub fn top(args: &Args) -> Result<(), DaosError> {
     }
 }
 
+/// Pull the retained WSS series from `/query` so the first remote frame
+/// shows a full sparkline. Best-effort: older servers without the
+/// endpoint (or an empty history) just start cold.
+fn backfill_wss(dash: &mut Dashboard, addr: SocketAddr) {
+    use daos_util::json::Json;
+    let Ok(resp) = daos_obs::http::http_get(
+        addr,
+        "/query?metric=daos_obs_wss_bytes&agg=last",
+        Duration::from_secs(5),
+    ) else {
+        return;
+    };
+    if resp.status != 200 {
+        return;
+    }
+    let Ok(v) = daos_util::json::parse(&resp.body) else { return };
+    let Some(Json::Array(points)) = v.get("points") else { return };
+    let values: Vec<u64> = points
+        .iter()
+        .filter_map(|p| match p {
+            Json::Array(pair) if pair.len() == 2 => match pair[1] {
+                Json::F64(v) if v >= 0.0 => Some(v as u64),
+                Json::U64(v) => Some(v),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    dash.backfill(&values);
+}
+
 fn top_remote(
     addr: SocketAddr,
     refresh: Duration,
@@ -414,6 +445,7 @@ fn top_remote(
 ) -> Result<(), DaosError> {
     use daos_util::json::FromJson;
     let mut dash = Dashboard::new();
+    backfill_wss(&mut dash, addr);
     let mut shown = 0u64;
     loop {
         let resp = daos_obs::http::http_get(addr, "/snapshot", Duration::from_secs(5))
@@ -501,6 +533,66 @@ fn top_inprocess(
     let snap = publisher.snapshot();
     if snap.seq > 0 {
         show_frame(&mut dash, &snap, plain);
+    }
+    Ok(())
+}
+
+/// `daos alerts <ADDR>`: one-shot view of a `--serve` endpoint's alert
+/// rules — fetches `/alerts` and renders a state table.
+pub fn alerts(args: &Args) -> Result<(), DaosError> {
+    use daos_util::json::Json;
+    let target = args
+        .pos(0)
+        .ok_or_else(|| DaosError::usage("daos alerts needs an ADDR (host:port)"))?;
+    let addr: SocketAddr = target
+        .parse()
+        .map_err(|_| DaosError::usage(format!("'{target}' is not a host:port address")))?;
+    let resp = daos_obs::http::http_get(addr, "/alerts", Duration::from_secs(5))
+        .map_err(|e| DaosError::io(addr.to_string(), e))?;
+    if resp.status != 200 {
+        return Err(DaosError::usage(format!(
+            "GET /alerts from {addr} returned status {}",
+            resp.status
+        )));
+    }
+    let Json::Array(rules) = daos_util::json::parse(&resp.body)? else {
+        return Err(DaosError::usage(format!("/alerts did not return a JSON array: {}", resp.body)));
+    };
+    if rules.is_empty() {
+        println!("no alert rules installed at {addr}");
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:<9} {:<36} {:>10} {:<8} {:>5} {:>11} {:>12}",
+        "rule", "kind", "metric", "threshold", "state", "for", "transitions", "value"
+    );
+    for rule in &rules {
+        let s = |k: &str| rule.field::<String>(k).unwrap_or_default();
+        let n = |k: &str| rule.field::<u64>(k).unwrap_or(0);
+        let value = match rule.get("value") {
+            Some(Json::F64(v)) => format!("{v:.3}"),
+            Some(Json::U64(v)) => format!("{v}"),
+            _ => "-".into(),
+        };
+        let threshold = rule
+            .get("threshold")
+            .and_then(|t| match t {
+                Json::F64(v) => Some(format!("{v:.3}")),
+                Json::U64(v) => Some(format!("{v}")),
+                _ => None,
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<28} {:<9} {:<36} {:>10} {:<8} {:>5} {:>11} {:>12}",
+            s("rule"),
+            s("kind"),
+            s("metric"),
+            threshold,
+            s("state"),
+            n("for_samples"),
+            n("transitions"),
+            value,
+        );
     }
     Ok(())
 }

@@ -18,12 +18,16 @@ SUBCOMMANDS:
         [--config baseline|rec|prec|thp|ethp|prcl|damon_reclaim]
         [--machine i3|m5d|z1d] [--seed N] [--epochs N]
         [--serve ADDR]        expose live /metrics /snapshot /events
-                              /healthz /statusz while the run executes
+                              /healthz /statusz /query /alerts while
+                              the run executes
         [--publish-every N] [--ring N] [--linger] [--obs-workers N]
     top <ADDR | workload>     live dashboard (WSS sparkline, hottest
         regions, scheme state, span latencies); ADDR attaches to a
         --serve endpoint, a workload name runs it in-process
         [--refresh MS] [--iterations N] [--plain] [--config ...]
+    alerts <ADDR>             one-shot alert-rule state table from a
+        --serve endpoint's /alerts (threshold and rate rules, with
+        hysteresis state and transition counts)
     record <workload>         monitor a workload, write a record file
         [--machine i3|m5d|z1d] [--paddr] [--seed N] [--out FILE]
     report heatmap <FILE>     render a record or trace as an ASCII heatmap
@@ -70,6 +74,7 @@ fn main() {
             "list" => commands::list(),
             "run" => commands::run_cmd(&Args::parse(raw)?),
             "top" => commands::top(&Args::parse(raw)?),
+            "alerts" => commands::alerts(&Args::parse(raw)?),
             "record" => commands::record(&Args::parse(raw)?),
             "report" => {
                 if raw.is_empty() {

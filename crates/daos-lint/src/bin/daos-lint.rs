@@ -23,8 +23,9 @@ OPTIONS:
     --json       machine-readable report on stdout
 
 Lints: no-print, no-registry-deps, panic-discipline, determinism,
-atomic-ordering, dead-tracepoint. See DESIGN.md §11 for the catalogue
-and the `// lint: allow(<key>, <reason>)` annotation grammar.
+atomic-ordering, dead-tracepoint, metric-name-discipline. See
+DESIGN.md §11 for the catalogue and the `// lint: allow(<key>,
+<reason>)` annotation grammar.
 ";
 
 fn run() -> Result<(), DaosError> {

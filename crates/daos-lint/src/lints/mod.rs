@@ -11,6 +11,7 @@ use crate::Finding;
 mod atomic_ordering;
 mod dead_tracepoint;
 mod determinism;
+mod metric_name;
 mod no_print;
 mod panic_discipline;
 mod registry_deps;
@@ -29,7 +30,8 @@ pub trait Pass {
 }
 
 /// The allow keys annotations may name (one per suppressible lint).
-pub const ALLOW_KEYS: [&str; 5] = ["print", "panic", "time", "ordering", "tracepoint"];
+pub const ALLOW_KEYS: [&str; 6] =
+    ["print", "panic", "time", "ordering", "tracepoint", "metric"];
 
 /// Every shipped lint, in reporting order.
 pub fn all_passes() -> Vec<Box<dyn Pass>> {
@@ -40,6 +42,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(determinism::Determinism),
         Box::new(atomic_ordering::AtomicOrdering),
         Box::new(dead_tracepoint::DeadTracepoint),
+        Box::new(metric_name::MetricName),
     ]
 }
 

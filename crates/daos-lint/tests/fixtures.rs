@@ -32,8 +32,9 @@ fn violations_fixture_trips_every_lint() {
     assert_eq!(count(&findings, "determinism"), 2, "{ctx}");
     assert_eq!(count(&findings, "atomic-ordering"), 2, "{ctx}");
     assert_eq!(count(&findings, "dead-tracepoint"), 1, "{ctx}");
+    assert_eq!(count(&findings, "metric-name-discipline"), 1, "{ctx}");
     assert_eq!(count(&findings, "annotation"), 1, "{ctx}");
-    assert_eq!(findings.len(), 14, "{ctx}");
+    assert_eq!(findings.len(), 15, "{ctx}");
 }
 
 #[test]

@@ -46,6 +46,14 @@ pub fn emit_all() {
     span!(3, Sample, { () });
 }
 
+pub fn metric_bait(reg: &mut Registry, i: u32) {
+    // A well-formed key, a computed key (the labelled-prefix fold owns
+    // its shape), and an annotated exception must all pass.
+    reg.counter_add("obs.requests_total", 1);
+    reg.gauge_set(&format!("tenant.t{i}.rss_bytes"), 0.0);
+    reg.hist_record("Legacy-Key", 1) // lint: allow(metric, fixture exercises the metric allow key)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -20,3 +20,7 @@ daos_trace::events! {
 pub fn tick() {
     trace!(1, Alive { n: 3 });
 }
+
+pub fn bad_metric(reg: &mut Registry) {
+    reg.counter_add("Obs-Requests.Total", 1);
+}

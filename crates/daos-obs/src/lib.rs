@@ -25,8 +25,17 @@
 //!   and `/statusz` (the server's own state as JSON). Saturation is
 //!   explicit: past [`server::ObsConfig::max_connections`] the accept
 //!   loop answers `503` with `Retry-After`.
+//! - [`history::MetricHistory`] — the embedded time-series store behind
+//!   `GET /query`: every publish is flattened into prometheus-style
+//!   series (labels included) and retained in fixed-capacity rings with
+//!   tiered raw → 10-sample → 100-sample rollup downsampling.
+//! - [`alert::AlertEngine`] — threshold / rate-of-change rules
+//!   ([`alert::AlertRule`], builder-validated) evaluated on every
+//!   publish with hysteresis; states serve on `GET /alerts`, export as
+//!   `daos_alert_state{rule=…}`, and transitions stream on `/events`.
 //! - [`top::Dashboard`] — the `daos top` frame renderer (WSS sparkline,
-//!   hottest regions, scheme quota state, span p50/p95).
+//!   hottest regions, scheme quota state, span p50/p95), backfilling
+//!   its sparkline from `/query` when watching a remote server.
 //! - [`http::http_get`] / [`http::HttpClient`] — the std-only blocking
 //!   clients (one-shot and persistent keep-alive) used by `daos top
 //!   ADDR`, the tests, the `obs_bench` load generator, and the
@@ -36,6 +45,8 @@
 //! constructs a publisher and the run loop's observation hook stays a
 //! single untaken branch.
 
+pub mod alert;
+pub mod history;
 pub mod http;
 pub mod prom;
 pub mod publisher;
@@ -43,6 +54,8 @@ pub mod server;
 pub mod snapshot;
 pub mod top;
 
+pub use alert::{default_rules, AlertEngine, AlertError, AlertKind, AlertRule, AlertState, AlertStatus};
+pub use history::{Agg, MetricHistory, QueryResult};
 pub use http::{http_get, HttpClient};
 pub use publisher::{EpochPublisher, FleetPublisher, Publisher, DEFAULT_TAIL_CAPACITY};
 pub use server::{Endpoint, ObsConfig, ObsServer};

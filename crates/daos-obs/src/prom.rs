@@ -80,10 +80,15 @@ fn hist_lines(out: &mut String, name: &str, h: &Histogram) {
 
 /// Key prefixes that collapse into labelled families, as
 /// `(key prefix, label name)`: `scheme.<i>.*`, `tenant.<t>.*` (the
-/// fleet engine's per-tenant aggregates), and `obs.http.<ep>.*` (the
-/// obs server's per-endpoint self-telemetry).
-const LABELLED_PREFIXES: [(&str, &str); 3] =
-    [("scheme", "scheme"), ("tenant", "tenant"), ("obs.http", "endpoint")];
+/// fleet engine's per-tenant aggregates), `obs.http.<ep>.*` (the obs
+/// server's per-endpoint self-telemetry), and `alert.<rule>.*` (the
+/// alert engine's per-rule state/transition metrics).
+const LABELLED_PREFIXES: [(&str, &str); 4] = [
+    ("scheme", "scheme"),
+    ("tenant", "tenant"),
+    ("obs.http", "endpoint"),
+    ("alert", "rule"),
+];
 
 /// Split `key` on the first matching labelled prefix into
 /// `(prefix, label name, label value, field)`.
@@ -126,10 +131,34 @@ fn render_registry(out: &mut String, reg: &Registry) {
             out.push_str(&format!("{name}{{{label}=\"{}\"}} {value}\n", escape_label(idx)));
         }
     }
+    // Gauges fold the same way (`alert.<rule>.state` is the labelled
+    // customer; historical plain gauges are untouched by the fold).
+    let mut labelled_gauges: BTreeMap<(&str, &str, &str), Vec<(&str, f64)>> = BTreeMap::new();
+    let mut plain_gauges: Vec<(&str, f64)> = Vec::new();
     for (key, value) in reg.gauges() {
+        match split_labelled(key) {
+            Some((prefix, label, idx, field)) => {
+                labelled_gauges.entry((prefix, label, field)).or_default().push((idx, value))
+            }
+            None => plain_gauges.push((key, value)),
+        }
+    }
+    for (key, value) in plain_gauges {
         let name = mangle(key);
         family(out, &name, "gauge", &format!("daos-trace gauge {key}"));
         out.push_str(&format!("{name} {value}\n"));
+    }
+    for ((prefix, label, field), entries) in labelled_gauges {
+        let name = mangle(&format!("{prefix}.{field}"));
+        family(
+            out,
+            &name,
+            "gauge",
+            &format!("per-{label} gauge {prefix}.<{label}>.{field}"),
+        );
+        for (idx, value) in entries {
+            out.push_str(&format!("{name}{{{label}=\"{}\"}} {value}\n", escape_label(idx)));
+        }
     }
     // Histograms fold the same way; labelled ones share one family
     // header per (prefix, field) with the label on every sample line.
@@ -155,6 +184,40 @@ fn render_registry(out: &mut String, reg: &Registry) {
             hist_samples(out, &name, Some((label, idx)), h);
         }
     }
+}
+
+/// The exposition-style series key for one registry entry: the mangled
+/// family name, plus the folded label for keyed prefixes — exactly the
+/// `Sample::key()` a scrape of `/metrics` would yield, so history
+/// series names and scraped names agree.
+fn series_key(key: &str, suffix: &str) -> String {
+    match split_labelled(key) {
+        Some((prefix, label, value, field)) => format!(
+            "{}{suffix}{{{label}=\"{}\"}}",
+            mangle(&format!("{prefix}.{field}")),
+            escape_label(value)
+        ),
+        None => format!("{}{suffix}", mangle(key)),
+    }
+}
+
+/// Flatten a registry into `(series key, value)` pairs — counters and
+/// gauges verbatim, histograms as their `_p50`/`_p99` percentiles —
+/// using the same name mangling and label folding as the exposition.
+/// This is what the metric history records on every publish.
+pub fn flatten_registry(reg: &Registry) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (key, value) in reg.counters() {
+        out.push((series_key(key, ""), value as f64));
+    }
+    for (key, value) in reg.gauges() {
+        out.push((series_key(key, ""), value));
+    }
+    for (key, h) in reg.hists() {
+        out.push((series_key(key, "_p50"), h.percentile(50.0) as f64));
+        out.push((series_key(key, "_p99"), h.percentile(99.0) as f64));
+    }
+    out
 }
 
 /// Render the full `/metrics` exposition for one snapshot.
@@ -489,6 +552,52 @@ mod tests {
         assert!(parse_exposition("daos_x one").is_err(), "bad value");
         assert!(parse_exposition("3daos_x 1").is_err(), "name starts with digit");
         assert!(parse_exposition("daos_x 1").is_ok());
+    }
+
+    #[test]
+    fn alert_gauges_fold_into_rule_label_families() {
+        let mut reg = Registry::new();
+        reg.gauge_set("alert.trace_ring_drop_rate.state", 2.0);
+        reg.gauge_set("alert.obs_http_503_rate.state", 0.0);
+        reg.counter_add("alert.trace_ring_drop_rate.transitions_total", 3);
+        reg.gauge_set("tuner.best_x", 1.5);
+        let snap = ObsSnapshot { registry: reg, ..Default::default() };
+        let text = render(&snap);
+        let m = sample_map(&text);
+        assert_eq!(m["daos_alert_state{rule=\"trace_ring_drop_rate\"}"], 2.0);
+        assert_eq!(m["daos_alert_state{rule=\"obs_http_503_rate\"}"], 0.0);
+        assert_eq!(m["daos_alert_transitions_total{rule=\"trace_ring_drop_rate\"}"], 3.0);
+        assert_eq!(m["daos_tuner_best_x"], 1.5, "plain gauges stay plain");
+        // One family header even with two labelled rule gauges.
+        assert_eq!(text.matches("# TYPE daos_alert_state gauge").count(), 1);
+    }
+
+    #[test]
+    fn flatten_registry_matches_exposition_keys() {
+        let mut reg = Registry::new();
+        reg.counter_add("monitor.work_ns", 480);
+        reg.counter_add("tenant.t3.rss_bytes", 2048);
+        reg.gauge_set("alert.r0.state", 1.0);
+        reg.hist_record("span.sample_ns", 100);
+        reg.hist_record("span.sample_ns", 300);
+        let flat: BTreeMap<String, f64> = flatten_registry(&reg).into_iter().collect();
+        assert_eq!(flat["daos_monitor_work_ns"], 480.0);
+        assert_eq!(flat["daos_tenant_rss_bytes{tenant=\"t3\"}"], 2048.0);
+        assert_eq!(flat["daos_alert_state{rule=\"r0\"}"], 1.0);
+        // Histograms flatten to their percentiles.
+        assert!(flat.contains_key("daos_span_sample_ns_p50"));
+        assert!(flat.contains_key("daos_span_sample_ns_p99"));
+        let h = reg.hist("span.sample_ns").unwrap();
+        assert!(flat["daos_span_sample_ns_p50"] >= h.min() as f64);
+        assert!(flat["daos_span_sample_ns_p99"] <= h.max() as f64);
+        // Every flattened key matches the exposition's Sample::key()
+        // space: re-parse a rendered exposition and check membership.
+        let snap = ObsSnapshot { registry: reg, ..Default::default() };
+        let keys: std::collections::BTreeSet<String> =
+            parse_exposition(&render(&snap)).unwrap().iter().map(|s| s.key()).collect();
+        for key in flat.keys().filter(|k| !k.contains("_p5") && !k.contains("_p9")) {
+            assert!(keys.contains(key.as_str()), "{key} not in exposition");
+        }
     }
 
     #[test]

@@ -3,10 +3,22 @@
 //! newest events to a bounded tail; server threads and the in-process
 //! dashboard read both without ever blocking the sim loop for more than
 //! a pointer swap.
+//!
+//! Since the history/alert subsystem, every publish also: flattens the
+//! snapshot (scalars, registry counters/gauges, histogram percentiles)
+//! into the bounded [`MetricHistory`] behind `/query`, evaluates the
+//! installed [`AlertEngine`] rules against the freshest samples, pushes
+//! each state transition onto the `/events` tail as an
+//! `AlertTransition` trace event, and mirrors rule states into the
+//! `alert.<rule>.*` registry keys `/metrics` folds into
+//! `daos_alert_state{rule=…}`.
 
+use crate::alert::{self, AlertEngine, AlertRule, AlertState, AlertStatus};
+use crate::history::{Agg, MetricHistory, QueryResult};
+use crate::prom;
 use crate::snapshot::ObsSnapshot;
 use daos::{FleetObserver, FleetProgress, FleetSummary, RunObserver, RunProgress, RunResult, TenantStats};
-use daos_trace::{Registry, Ring, TimedEvent};
+use daos_trace::{AlertStateTag, Event, Registry, Ring, TimedEvent};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -31,10 +43,34 @@ struct Tail {
     cap: usize,
 }
 
+/// Extra samples recorded into the history on every publish (the obs
+/// server injects its own counters here, so rules can watch e.g. the
+/// 503 rate without a scrape round-trip).
+type AuxSource = Box<dyn Fn(&mut Vec<(String, f64)>) + Send + Sync>;
+
+/// The retention + alerting state, advanced on every publish.
+struct ObsState {
+    history: MetricHistory,
+    alerts: AlertEngine,
+    aux: Option<AuxSource>,
+}
+
 struct Shared {
     snap: RwLock<Arc<ObsSnapshot>>,
     tail: Mutex<Tail>,
+    obs: Mutex<ObsState>,
     finished: AtomicBool,
+}
+
+/// Map an engine state to its trace-event tag (trace sits below obs in
+/// the crate DAG, so the enum is mirrored, not shared).
+fn state_tag(s: AlertState) -> AlertStateTag {
+    match s {
+        AlertState::Ok => AlertStateTag::Ok,
+        AlertState::Pending => AlertStateTag::Pending,
+        AlertState::Firing => AlertStateTag::Firing,
+        AlertState::Resolved => AlertStateTag::Resolved,
+    }
 }
 
 /// Handle to the shared observability state. Clones are cheap and all
@@ -70,14 +106,39 @@ impl Publisher {
                     missed: 0,
                     cap: cap.max(1),
                 }),
+                obs: Mutex::new(ObsState {
+                    history: MetricHistory::new(),
+                    alerts: AlertEngine::new(),
+                    aux: None,
+                }),
                 finished: AtomicBool::new(false),
             }),
         }
     }
 
     /// Swap in a new snapshot (the Arc-swap: readers holding the old
-    /// `Arc` keep a consistent view, new readers see the new one).
+    /// `Arc` keep a consistent view, new readers see the new one), after
+    /// recording it into the metric history and evaluating alert rules.
     pub fn publish(&self, snap: ObsSnapshot) {
+        let transitions = self.record_and_evaluate(&snap);
+        for t in &transitions {
+            let event = Event::AlertTransition {
+                rule: t.rule,
+                from: state_tag(t.from),
+                to: state_tag(t.to),
+                value: t.value,
+            };
+            // Into the thread-local ring for offline JSONL export —
+            // `sync_ring` skips the variant, so the direct tail push
+            // below stays the single `/events` delivery path.
+            daos_trace::trace!(t.at, AlertTransition {
+                rule: t.rule,
+                from: state_tag(t.from),
+                to: state_tag(t.to),
+                value: t.value,
+            });
+            self.push_tail(TimedEvent { at: t.at, event });
+        }
         // A panicking publisher poisons the lock; the snapshot is a
         // whole-Arc swap, so the stored value is always consistent and
         // poison recovery is safe.
@@ -86,6 +147,149 @@ impl Publisher {
             .snap
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(snap);
+    }
+
+    /// Flatten `snap` into history samples, record them, and run the
+    /// alert engine over the freshest values.
+    fn record_and_evaluate(&self, snap: &ObsSnapshot) -> Vec<alert::Transition> {
+        let (missed, tail_len) = {
+            let tail = self
+                .shared
+                .tail
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (tail.missed, tail.events.len())
+        };
+        let mut samples: Vec<(String, f64)> = vec![
+            ("daos_obs_seq".into(), snap.seq as f64),
+            ("daos_obs_epoch".into(), snap.epoch as f64),
+            ("daos_obs_nr_epochs".into(), snap.nr_epochs as f64),
+            ("daos_obs_wss_bytes".into(), snap.wss_bytes as f64),
+            ("daos_obs_peak_rss_bytes".into(), snap.peak_rss_bytes as f64),
+            ("daos_obs_avg_rss_bytes".into(), snap.avg_rss_bytes as f64),
+            ("daos_obs_dropped_events".into(), snap.dropped_events as f64),
+            ("daos_obs_finished".into(), if snap.finished { 1.0 } else { 0.0 }),
+            ("daos_obs_events_missed_total".into(), missed as f64),
+            ("daos_obs_tail_len".into(), tail_len as f64),
+        ];
+        if let Some(overhead) = &snap.overhead {
+            samples.push((
+                "daos_obs_monitor_share_permille".into(),
+                overhead.cpu_share(snap.now_ns) * 1000.0,
+            ));
+        }
+        samples.extend(prom::flatten_registry(&snap.registry));
+        let mut obs = self
+            .shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ObsState { history, alerts, aux } = &mut *obs;
+        if let Some(aux) = aux {
+            aux(&mut samples);
+        }
+        history.record(snap.seq, snap.now_ns, &samples);
+        alerts.evaluate(snap.now_ns, |metric| history.latest(metric).map(|(_, v)| v))
+    }
+
+    /// Append one event directly to the tail (the alert-transition
+    /// path; ring-emitted events go through [`sync_ring`](Self::sync_ring)).
+    fn push_tail(&self, ev: TimedEvent) {
+        let mut tail = self
+            .shared
+            .tail
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if tail.events.len() == tail.cap {
+            tail.events.pop_front();
+            tail.first_seq += 1;
+            tail.missed += 1;
+        }
+        tail.events.push_back(ev);
+    }
+
+    /// Install alert rules (appended to any already installed).
+    pub fn install_rules(&self, rules: Vec<AlertRule>) {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .alerts
+            .install(rules);
+    }
+
+    /// Install [`alert::default_rules`] unless rules are already
+    /// installed — idempotent, so wiring it into every observer
+    /// constructor can't double the rule set.
+    pub fn install_default_rules(&self) {
+        let mut obs = self
+            .shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if obs.alerts.is_empty() {
+            obs.alerts.install(alert::default_rules());
+        }
+    }
+
+    /// Point-in-time view of every installed rule (the `/alerts` body).
+    pub fn alert_statuses(&self) -> Vec<AlertStatus> {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .alerts
+            .statuses()
+    }
+
+    /// The alert states as registry keys (`alert.<rule>.state` gauges,
+    /// `alert.<rule>.transitions_total` counters) for merging into the
+    /// `/metrics` exposition.
+    pub fn alert_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        for s in self.alert_statuses() {
+            reg.gauge_set(&format!("alert.{}.state", s.rule.name), s.state.as_gauge());
+            reg.counter_add(
+                &format!("alert.{}.transitions_total", s.rule.name),
+                s.transitions,
+            );
+        }
+        reg
+    }
+
+    /// Answer a `/query`: see [`MetricHistory::query`].
+    pub fn query(&self, metric: &str, since: u64, step: u64, agg: Agg) -> Option<QueryResult> {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .history
+            .query(metric, since, step, agg)
+    }
+
+    /// History accounting for `/statusz`:
+    /// `(series, samples recorded, series dropped at the cap)`.
+    pub fn history_stats(&self) -> (usize, u64, u64) {
+        let obs = self
+            .shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (
+            obs.history.series_count(),
+            obs.history.samples_recorded(),
+            obs.history.dropped_series(),
+        )
+    }
+
+    /// Register the extra per-publish sample source (replacing any
+    /// previous one). The obs server injects its own counters here.
+    pub fn set_aux_source(&self, f: impl Fn(&mut Vec<(String, f64)>) + Send + Sync + 'static) {
+        self.shared
+            .obs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .aux = Some(Box::new(f));
     }
 
     /// The current snapshot (cheap: one `Arc` clone under a read lock).
@@ -119,6 +323,12 @@ impl Publisher {
         let take = (new as usize).min(ring.len());
         tail.missed += new - take as u64;
         for ev in ring.tail(take) {
+            // Alert transitions reach the tail directly in `publish`;
+            // copying the ring's mirror of them would double-deliver
+            // on `/events`.
+            if matches!(ev.event, Event::AlertTransition { .. }) {
+                continue;
+            }
             if tail.events.len() == tail.cap {
                 tail.events.pop_front();
                 tail.first_seq += 1;
@@ -203,6 +413,7 @@ impl EpochPublisher {
         machine: &str,
         publish_every: u64,
     ) -> EpochPublisher {
+        publisher.install_default_rules();
         EpochPublisher {
             publisher,
             config: config.to_string(),
@@ -321,6 +532,7 @@ impl FleetPublisher {
         machine: &str,
         publish_every: u64,
     ) -> FleetPublisher {
+        publisher.install_default_rules();
         FleetPublisher {
             publisher,
             config: config.to_string(),
@@ -475,6 +687,106 @@ mod tests {
         let (evs, _) = p.events_since(0);
         assert_eq!(evs.iter().map(|e| e.at).collect::<Vec<_>>(), vec![3, 4]);
         assert_eq!(p.missed_events(), 3, "events the ring overwrote are counted, once");
+    }
+
+    #[test]
+    fn publish_records_history_and_serves_queries() {
+        let p = Publisher::new();
+        for seq in 1..=5u64 {
+            let mut reg = Registry::new();
+            reg.counter_add("fleet.nr_processes", 256);
+            p.publish(ObsSnapshot {
+                seq,
+                now_ns: seq * 1_000,
+                wss_bytes: seq * 4096,
+                registry: reg,
+                ..Default::default()
+            });
+        }
+        let q = p.query("daos_obs_wss_bytes", 0, 0, Agg::Last).expect("series recorded");
+        assert_eq!(q.points.len(), 5);
+        assert_eq!(q.points.last(), Some(&(5_000, 5.0 * 4096.0)));
+        let f = p.query("daos_fleet_nr_processes", 0, 0, Agg::Last).unwrap();
+        assert!(f.points.iter().all(|&(_, v)| v == 256.0));
+        let (series, samples, dropped) = p.history_stats();
+        assert!(series >= 2);
+        assert!(samples >= 10);
+        assert_eq!(dropped, 0);
+        // Re-publishing the same seq is deduplicated.
+        p.publish(ObsSnapshot { seq: 5, now_ns: 5_000, wss_bytes: 99, ..Default::default() });
+        assert_eq!(p.query("daos_obs_wss_bytes", 0, 0, Agg::Last).unwrap().points.len(), 5);
+    }
+
+    #[test]
+    fn aux_source_samples_are_recorded() {
+        let p = Publisher::new();
+        p.set_aux_source(|out| out.push(("daos_obs_server_rejected_total".into(), 7.0)));
+        p.publish(ObsSnapshot { seq: 1, now_ns: 1_000, ..Default::default() });
+        let q = p.query("daos_obs_server_rejected_total", 0, 0, Agg::Last).unwrap();
+        assert_eq!(q.points, vec![(1_000, 7.0)]);
+    }
+
+    #[test]
+    fn alert_transitions_reach_the_tail_and_the_registry() {
+        let p = Publisher::new();
+        p.install_default_rules();
+        p.install_default_rules(); // idempotent
+        assert_eq!(p.alert_statuses().len(), 3);
+        // Drive the drop-rate rule: dropped_events grows every publish,
+        // so its per-second rate > 0 for 2 samples → pending, firing.
+        for (seq, dropped) in [(1u64, 0u64), (2, 10), (3, 20), (4, 20), (5, 20)] {
+            p.publish(ObsSnapshot {
+                seq,
+                now_ns: seq * 1_000_000_000,
+                dropped_events: dropped,
+                ..Default::default()
+            });
+        }
+        let statuses = p.alert_statuses();
+        let drop = statuses.iter().find(|s| s.rule.name == "trace_ring_drop_rate").unwrap();
+        // 0→10→20→20→20: breach at seq 2 and 3 (pending → firing), clear
+        // at 4 (resolved) and 5 (ok) — four transitions.
+        assert_eq!(drop.state, AlertState::Ok);
+        assert_eq!(drop.transitions, 4);
+        let (evs, _) = p.events_since(0);
+        let alerts: Vec<&TimedEvent> = evs
+            .iter()
+            .filter(|e| matches!(e.event, Event::AlertTransition { .. }))
+            .collect();
+        assert_eq!(alerts.len(), 4, "every transition reaches /events: {evs:?}");
+        match alerts[1].event {
+            Event::AlertTransition { from, to, .. } => {
+                assert_eq!(from, AlertStateTag::Pending);
+                assert_eq!(to, AlertStateTag::Firing);
+            }
+            _ => unreachable!(),
+        }
+        // The registry view folds into daos_alert_* families.
+        let reg = p.alert_registry();
+        assert_eq!(reg.counter("alert.trace_ring_drop_rate.transitions_total"), 4);
+        let gauges: Vec<(&str, f64)> = reg.gauges().collect();
+        assert!(gauges.iter().any(|(k, v)| *k == "alert.trace_ring_drop_rate.state" && *v == 0.0));
+    }
+
+    #[test]
+    fn sync_ring_skips_alert_transitions() {
+        let p = Publisher::new();
+        let mut c = Collector::builder().ring_capacity(8).build().unwrap();
+        c.record(1, ev(1).event);
+        c.record(
+            2,
+            Event::AlertTransition {
+                rule: 0,
+                from: AlertStateTag::Ok,
+                to: AlertStateTag::Pending,
+                value: 1.0,
+            },
+        );
+        c.record(3, ev(3).event);
+        p.sync_ring(c.ring());
+        let (evs, _) = p.events_since(0);
+        assert_eq!(evs.iter().map(|e| e.at).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(p.missed_events(), 0, "skipped mirrors are not 'missed'");
     }
 
     #[test]

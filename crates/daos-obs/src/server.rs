@@ -12,6 +12,9 @@
 //! - `GET /healthz` — liveness probe (`ok`)
 //! - `GET /statusz` — compact JSON view of the server's own state
 //!   (in-flight, accepted/rejected, per-endpoint p50/p99)
+//! - `GET /query?metric=…[&since=…][&step=…][&agg=min|max|mean|last]` —
+//!   one retained series from the metric history as JSON points
+//! - `GET /alerts` — every installed alert rule's state as JSON
 //!
 //! `HEAD` works everywhere (headers only); malformed requests get a
 //! `400`; other methods get a `405`.
@@ -34,6 +37,7 @@ use crate::http::{
     finish_chunked, read_request, start_chunked, write_chunk, write_response_with,
     Request, ResponseOpts,
 };
+use crate::history::Agg;
 use crate::prom;
 use crate::publisher::Publisher;
 use daos_trace::{Histogram, Registry};
@@ -117,11 +121,15 @@ pub enum Endpoint {
     Events,
     /// `/statusz`.
     Statusz,
+    /// `/query`.
+    Query,
+    /// `/alerts`.
+    Alerts,
     /// Anything else (404s and non-GET/HEAD methods).
     Other,
 }
 
-const NR_ENDPOINTS: usize = 6;
+const NR_ENDPOINTS: usize = 8;
 
 impl Endpoint {
     /// Every endpoint, in telemetry order.
@@ -131,6 +139,8 @@ impl Endpoint {
         Endpoint::Snapshot,
         Endpoint::Events,
         Endpoint::Statusz,
+        Endpoint::Query,
+        Endpoint::Alerts,
         Endpoint::Other,
     ];
 
@@ -143,6 +153,8 @@ impl Endpoint {
             Endpoint::Snapshot => "snapshot",
             Endpoint::Events => "events",
             Endpoint::Statusz => "statusz",
+            Endpoint::Query => "query",
+            Endpoint::Alerts => "alerts",
             Endpoint::Other => "other",
         }
     }
@@ -154,6 +166,8 @@ impl Endpoint {
             "/snapshot" => Endpoint::Snapshot,
             "/events" => Endpoint::Events,
             "/statusz" => Endpoint::Statusz,
+            "/query" => Endpoint::Query,
+            "/alerts" => Endpoint::Alerts,
             _ => Endpoint::Other,
         }
     }
@@ -261,7 +275,7 @@ struct Conn {
 struct Inner {
     publisher: Publisher,
     cfg: ObsConfig,
-    stats: ServerStats,
+    stats: Arc<ServerStats>,
     stop: AtomicBool,
     queue: Mutex<VecDeque<Conn>>,
     queue_cv: Condvar,
@@ -280,15 +294,21 @@ impl Inner {
         self.queue_cv.notify_one();
     }
 
-    /// The self-telemetry registry, plus the live queue-depth gauge.
+    /// The self-telemetry registry, plus the live queue-depth gauge,
+    /// the publisher's event-tail accounting, and the alert states.
     fn telemetry(&self) -> Registry {
         let mut reg = self.stats.to_registry();
         reg.gauge_set("obs.server.queued_connections", lock(&self.queue).len() as f64);
+        reg.counter_add("obs.events_missed_total", self.publisher.missed_events());
+        reg.gauge_set("obs.tail_len", self.publisher.tail_len() as f64);
+        reg.merge(&self.publisher.alert_registry());
         reg
     }
 
     /// The `/statusz` body: the server's own state as compact JSON.
     fn statusz(&self) -> String {
+        let (history_series, history_samples, history_dropped) =
+            self.publisher.history_stats();
         let mut endpoints = Vec::new();
         for ep in Endpoint::ALL {
             let s = &self.stats.endpoints[ep as usize];
@@ -329,6 +349,9 @@ impl Inner {
             ),
             ("tail_events".into(), Json::U64(self.publisher.tail_len() as u64)),
             ("finished".into(), Json::Bool(self.publisher.is_finished())),
+            ("history_series".into(), Json::U64(history_series as u64)),
+            ("history_samples".into(), Json::U64(history_samples)),
+            ("history_dropped_series".into(), Json::U64(history_dropped)),
             ("endpoints".into(), Json::Object(endpoints)),
         ])
         .to_string_compact()
@@ -364,9 +387,34 @@ impl ObsServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.effective_workers();
+        let stats = Arc::new(ServerStats::new(workers));
+        // Feed the server's own admission counters into the metric
+        // history on every publish, so rate rules (e.g. the default
+        // `obs_http_503_rate`) can watch the 503 gate. Captures only the
+        // stats `Arc` — no cycle through `Inner`.
+        {
+            let stats = stats.clone();
+            publisher.set_aux_source(move |out| {
+                out.push((
+                    "daos_obs_server_accepted_total".into(),
+                    // ordering: Relaxed — telemetry counter read.
+                    stats.accepted.load(Ordering::Relaxed) as f64,
+                ));
+                out.push((
+                    "daos_obs_server_rejected_total".into(),
+                    // ordering: Relaxed — telemetry counter read.
+                    stats.rejected.load(Ordering::Relaxed) as f64,
+                ));
+                out.push((
+                    "daos_obs_server_bad_requests_total".into(),
+                    // ordering: Relaxed — telemetry counter read.
+                    stats.bad_requests.load(Ordering::Relaxed) as f64,
+                ));
+            });
+        }
         let inner = Arc::new(Inner {
             publisher,
-            stats: ServerStats::new(workers),
+            stats,
             cfg,
             stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
@@ -629,6 +677,16 @@ fn route(conn: &mut Conn, req: &Request, inner: &Inner, started: Instant) -> io:
             inner.publisher.snapshot().to_json().to_string_compact(),
         ),
         Endpoint::Statusz => (200, "application/json", inner.statusz()),
+        Endpoint::Query => {
+            let (status, body) = query_response(&inner.publisher, &req.path);
+            let ctype = if status == 200 { "application/json" } else { "text/plain" };
+            (status, ctype, body)
+        }
+        Endpoint::Alerts => {
+            let statuses: Vec<Json> =
+                inner.publisher.alert_statuses().iter().map(|s| s.to_json()).collect();
+            (200, "application/json", Json::Array(statuses).to_string_compact())
+        }
         Endpoint::Events => {
             if head {
                 inner.stats.record(Endpoint::Events, started, 0);
@@ -666,6 +724,69 @@ fn route(conn: &mut Conn, req: &Request, inner: &Inner, started: Instant) -> io:
         ResponseOpts { keep_alive: req.keep_alive, head_only: head, retry_after: None },
     )?;
     Ok(req.keep_alive)
+}
+
+/// Minimal `%XX` percent-decoding for query parameter values — labelled
+/// metric names contain `{`, `"`, and `=`, which clients must escape to
+/// keep the `k=v&` split unambiguous. Malformed escapes pass through
+/// verbatim.
+fn percent_decode(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'%' && i + 2 < b.len() {
+            if let (Some(hi), Some(lo)) =
+                ((b[i + 1] as char).to_digit(16), (b[i + 2] as char).to_digit(16))
+            {
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Answer `GET /query`: parse the parameters out of the raw request path
+/// and run them against the publisher's metric history. Returns
+/// `(status, body)` — `400` for malformed parameters, `404` for a metric
+/// the history has never seen.
+fn query_response(publisher: &Publisher, raw_path: &str) -> (u16, String) {
+    let qs = raw_path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let mut metric = None;
+    let mut since = 0u64;
+    let mut step = 0u64;
+    let mut agg = Agg::Last;
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let v = percent_decode(v);
+        match k {
+            "metric" => metric = Some(v),
+            "since" => match v.parse() {
+                Ok(n) => since = n,
+                Err(_) => return (400, "bad since: expected u64 nanoseconds\n".into()),
+            },
+            "step" => match v.parse() {
+                Ok(n) => step = n,
+                Err(_) => return (400, "bad step: expected u64 nanoseconds\n".into()),
+            },
+            "agg" => match Agg::parse(&v) {
+                Some(a) => agg = a,
+                None => return (400, "bad agg: expected min|max|mean|last\n".into()),
+            },
+            _ => return (400, format!("unknown parameter: {k}\n")),
+        }
+    }
+    let Some(metric) = metric else {
+        return (400, "missing required parameter: metric\n".into());
+    };
+    match publisher.query(&metric, since, step, agg) {
+        Some(result) => (200, result.to_json().to_string_compact()),
+        None => (404, format!("unknown metric: {metric}\n")),
+    }
 }
 
 /// Stream the live event tail as chunked JSONL: one event object per
@@ -822,6 +943,87 @@ mod tests {
             .unwrap();
             assert!(matches!(ev.event, Event::RegionSplit { .. }));
         }
+    }
+
+    #[test]
+    fn query_serves_history_and_rejects_bad_params() {
+        let (server, publisher) = server_with_state();
+        for seq in 4..10u64 {
+            publisher.publish(ObsSnapshot {
+                seq,
+                now_ns: seq * 1_000,
+                wss_bytes: seq * 10,
+                ..Default::default()
+            });
+        }
+        let addr = server.addr();
+
+        let resp = http_get(addr, "/query?metric=daos_obs_wss_bytes&agg=last", T).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = daos_util::json::parse(&resp.body).unwrap();
+        assert_eq!(v.field::<String>("metric").unwrap(), "daos_obs_wss_bytes");
+        assert_eq!(v.field::<String>("tier").unwrap(), "raw");
+        let Some(Json::Array(points)) = v.get("points") else {
+            panic!("points missing: {}", resp.body);
+        };
+        assert!(!points.is_empty());
+        let Some(Json::Array(last)) = points.last() else { panic!() };
+        assert_eq!((last[0].clone(), last[1].clone()), (Json::U64(9_000), Json::F64(90.0)));
+
+        // `%XX` escapes in the metric name decode before lookup.
+        let escaped = http_get(addr, "/query?metric=daos%5Fobs%5Fseq", T).unwrap();
+        assert_eq!(escaped.status, 200, "{}", escaped.body);
+
+        assert_eq!(http_get(addr, "/query", T).unwrap().status, 400);
+        assert_eq!(http_get(addr, "/query?metric=daos_obs_seq&agg=median", T).unwrap().status, 400);
+        assert_eq!(http_get(addr, "/query?metric=daos_obs_seq&since=abc", T).unwrap().status, 400);
+        assert_eq!(http_get(addr, "/query?metric=never_recorded", T).unwrap().status, 404);
+    }
+
+    #[test]
+    fn alerts_endpoint_and_metrics_expose_rule_state() {
+        let (server, publisher) = server_with_state();
+        publisher.install_default_rules();
+        let addr = server.addr();
+
+        let resp = http_get(addr, "/alerts", T).unwrap();
+        assert_eq!(resp.status, 200);
+        let Json::Array(rules) = daos_util::json::parse(&resp.body).unwrap() else {
+            panic!("not an array: {}", resp.body);
+        };
+        assert!(!rules.is_empty());
+        assert!(resp.body.contains("\"rule\":\"trace_ring_drop_rate\""), "{}", resp.body);
+        assert!(resp.body.contains("\"state\":\"ok\""), "{}", resp.body);
+
+        // The alert states and tail accounting fold into /metrics.
+        let metrics = http_get(addr, "/metrics", T).unwrap();
+        let samples = prom::parse_exposition(&metrics.body).unwrap();
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "daos_alert_state"
+                    && s.labels
+                        == vec![("rule".to_string(), "trace_ring_drop_rate".to_string())]
+            }),
+            "{}",
+            metrics.body
+        );
+        assert!(samples.iter().any(|s| s.name == "daos_obs_events_missed_total"));
+        assert!(samples.iter().any(|s| s.name == "daos_obs_tail_len"));
+    }
+
+    #[test]
+    fn server_counters_feed_the_history_via_the_aux_source() {
+        let (server, publisher) = server_with_state();
+        let _ = http_get(server.addr(), "/healthz", T).unwrap();
+        // The aux source samples at publish time, after the hit above.
+        publisher.publish(ObsSnapshot { seq: 4, now_ns: 4_000, ..Default::default() });
+        let resp =
+            http_get(server.addr(), "/query?metric=daos_obs_server_accepted_total", T).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = daos_util::json::parse(&resp.body).unwrap();
+        let Some(Json::Array(points)) = v.get("points") else { panic!("{}", resp.body) };
+        let Some(Json::Array(last)) = points.last() else { panic!() };
+        assert!(matches!(last[1], Json::F64(n) if n >= 1.0), "{}", resp.body);
     }
 
     #[test]

@@ -82,6 +82,21 @@ impl Dashboard {
         Dashboard::default()
     }
 
+    /// Seed the WSS sparkline from an already-recorded series (oldest
+    /// first) — `daos top ADDR` pulls
+    /// `/query?metric=daos_obs_wss_bytes&agg=last` so the first frame
+    /// shows history instead of a single dot. Keeps the newest
+    /// `spark_width` values; later [`frame`](Self::frame) calls append
+    /// as usual.
+    pub fn backfill(&mut self, values: &[u64]) {
+        for &v in values {
+            self.wss_history.push_back(v);
+        }
+        while self.wss_history.len() > self.spark_width {
+            self.wss_history.pop_front();
+        }
+    }
+
     /// Render one frame. Feeding the same snapshot (same `seq`) again
     /// re-renders without extending the sparkline history.
     pub fn frame(&mut self, snap: &ObsSnapshot) -> String {
@@ -307,6 +322,17 @@ mod tests {
         let hot = frame1.find("0x00000000001000").unwrap();
         let cold = frame1.find("0x00000000003000").unwrap();
         assert!(hot < cold);
+    }
+
+    #[test]
+    fn backfill_seeds_the_sparkline_and_clamps_to_width() {
+        let mut dash = Dashboard::new();
+        dash.spark_width = 4;
+        dash.backfill(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(dash.wss_history, [3, 4, 5, 6]);
+        // The next live frame appends after the backfilled history.
+        dash.frame(&busy_snapshot(1, 7));
+        assert_eq!(dash.wss_history, [4, 5, 6, 7]);
     }
 
     #[test]

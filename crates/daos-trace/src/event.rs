@@ -24,9 +24,28 @@ pub enum Layer {
     Schemes,
     /// Auto-tuner: samples, refits, final step.
     Tuner,
+    /// Observability plane: alert-rule state transitions.
+    Obs,
 }
 
-json_enum!(Layer { Mm, Monitor, Schemes, Tuner });
+json_enum!(Layer { Mm, Monitor, Schemes, Tuner, Obs });
+
+/// Alert-rule state tag carried by [`Event::AlertTransition`]. Mirrors
+/// `daos_obs::alert::AlertState` variant-for-variant (trace sits below
+/// the obs crate in the crate DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertStateTag {
+    /// Signal within bounds.
+    Ok,
+    /// Breached, not yet for the rule's `for_samples`.
+    Pending,
+    /// Breached long enough; the alert is active.
+    Firing,
+    /// Was firing; the breach just cleared.
+    Resolved,
+}
+
+json_enum!(AlertStateTag { Ok, Pending, Firing, Resolved });
 
 /// DAMOS action tag carried by [`Event::SchemeApply`]. Mirrors
 /// `daos_schemes::Action` variant-for-variant; the schemes crate maps
@@ -217,6 +236,11 @@ events! {
     SpanEnter { phase: Phase },
     /// A pipeline phase finished after `dur_ns` of virtual work.
     SpanExit { phase: Phase, dur_ns: Ns },
+
+    // ---- obs ----
+    /// An alert rule changed state (`rule` is its index in the installed
+    /// rule set; `value` is the signal that drove the change).
+    AlertTransition { rule: u32, from: AlertStateTag, to: AlertStateTag, value: f64 },
 }
 
 impl Event {
@@ -232,6 +256,7 @@ impl Event {
             | WatermarkTransition { .. } => Layer::Schemes,
             TunerSample { .. } | TunerRefit { .. } | TunerStep { .. } => Layer::Tuner,
             SpanEnter { phase } | SpanExit { phase, .. } => phase.layer(),
+            AlertTransition { .. } => Layer::Obs,
         }
     }
 }
@@ -281,6 +306,15 @@ mod tests {
             (Event::SpanEnter { phase: Phase::Sample }, Layer::Monitor),
             (Event::SpanExit { phase: Phase::SchemeApply, dur_ns: 9 }, Layer::Schemes),
             (Event::SpanExit { phase: Phase::TunerStep, dur_ns: 9 }, Layer::Tuner),
+            (
+                Event::AlertTransition {
+                    rule: 0,
+                    from: AlertStateTag::Pending,
+                    to: AlertStateTag::Firing,
+                    value: 2.5,
+                },
+                Layer::Obs,
+            ),
         ];
         for (e, l) in samples {
             assert_eq!(e.layer(), l);

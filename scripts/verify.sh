@@ -3,7 +3,8 @@
 # the in-tree static analysis (`daos-lint`) that machine-checks the
 # workspace invariants: no registry (non-path) dependencies, no printing
 # from library code, panic discipline, deterministic simulation crates,
-# justified atomic orderings, and no dead tracepoints.
+# justified atomic orderings, no dead tracepoints, and machine-parseable
+# metric keys.
 #
 # The workspace must build from a clean clone with no network and an
 # empty registry cache; every dependency is an in-tree path dependency
@@ -149,6 +150,34 @@ target/release/obs-get "$faddr" /statusz > "$tmp/fleet_statusz.txt" || {
 grep -q '"in_flight"' "$tmp/fleet_statusz.txt" || {
     echo "FAIL: /statusz lacks the in_flight gauge"
     cat "$tmp/fleet_statusz.txt"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+# The metric history behind /query must have recorded the fleet gauge on
+# every publish: a non-empty, monotonically non-decreasing series.
+target/release/obs-get "$faddr" '/query?metric=daos_fleet_nr_processes&agg=last' \
+    > "$tmp/fleet_query.json" || {
+    echo "FAIL: fleet /query unreachable or unknown metric"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+tr '[' '\n' < "$tmp/fleet_query.json" \
+    | sed -n 's/^[0-9.e+-]*,\([0-9.e+-]*\)\].*$/\1/p' \
+    | awk 'NR > 1 && $1 + 0 < prev { exit 1 } { prev = $1 + 0 } END { exit (NR == 0) }' || {
+    echo "FAIL: /query daos_fleet_nr_processes series empty or non-monotonic"
+    cat "$tmp/fleet_query.json"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+# The alert engine ships with the default rules installed.
+target/release/obs-get "$faddr" /alerts > "$tmp/fleet_alerts.json" || {
+    echo "FAIL: fleet /alerts unreachable"
+    kill "$fleet_pid" 2>/dev/null
+    exit 1
+}
+grep -q '"rule":"trace_ring_drop_rate"' "$tmp/fleet_alerts.json" || {
+    echo "FAIL: /alerts lacks the default rule set"
+    cat "$tmp/fleet_alerts.json"
     kill "$fleet_pid" 2>/dev/null
     exit 1
 }

@@ -1,36 +1,45 @@
 //! `daos-lint` — machine-check the workspace invariants.
 //!
 //! ```text
-//! USAGE: daos-lint [--root DIR] [--json]
+//! USAGE: daos-lint [--root DIR] [--json] [--pass NAME] [--list-passes]
 //! ```
 //!
 //! Exits 0 on a clean workspace; on findings it prints them (human
 //! lines, or a JSON report with `--json`) and exits with
-//! `EX_DATAERR` (65) via `DaosError::Lint`.
+//! `EX_DATAERR` (65) via `DaosError::Lint`; usage errors exit 2.
 
 use daos::DaosError;
-use daos_lint::{lint_workspace, report_json};
+use daos_lint::{all_passes, lint_workspace_filtered, report_json};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
 daos-lint — static analysis of the workspace invariants
 
 USAGE:
-    daos-lint [--root DIR] [--json]
+    daos-lint [--root DIR] [--json] [--pass NAME] [--list-passes]
 
 OPTIONS:
-    --root DIR   workspace root to scan (default: .)
-    --json       machine-readable report on stdout
+    --root DIR     workspace root to scan (default: .)
+    --json         machine-readable report on stdout
+    --pass NAME    run a single pass by name (fast local iteration)
+    --list-passes  print every pass name, one per line, and exit
 
-Lints: no-print, no-registry-deps, panic-discipline, determinism,
-atomic-ordering, dead-tracepoint, metric-name-discipline. See
-DESIGN.md §11 for the catalogue and the `// lint: allow(<key>,
-<reason>)` annotation grammar.
+EXIT CODES:
+    0   clean (no findings)
+    65  findings reported (EX_DATAERR)
+    2   usage error (unknown flag, bad --root, unknown --pass)
+
+Passes: no-print, no-registry-deps, panic-discipline, determinism,
+atomic-ordering, dead-tracepoint, metric-name-discipline, lock-order,
+blocking-under-lock, guard-discipline. See DESIGN.md §11 and §16 for
+the catalogue and the `// lint: allow(<key>, <reason>)` annotation
+grammar.
 ";
 
 fn run() -> Result<(), DaosError> {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut pass: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,6 +48,17 @@ fn run() -> Result<(), DaosError> {
                 root = PathBuf::from(args.next().ok_or_else(|| {
                     DaosError::usage("--root needs a directory argument")
                 })?);
+            }
+            "--pass" => {
+                pass = Some(args.next().ok_or_else(|| {
+                    DaosError::usage("--pass needs a pass name (see --list-passes)")
+                })?);
+            }
+            "--list-passes" => {
+                for p in all_passes() {
+                    println!("{}", p.name());
+                }
+                return Ok(());
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -58,7 +78,7 @@ fn run() -> Result<(), DaosError> {
         )));
     }
 
-    let (ws, findings) = lint_workspace(&root)?;
+    let (ws, findings) = lint_workspace_filtered(&root, pass.as_deref())?;
     if json {
         println!("{}", report_json(&ws, &findings).to_string_compact());
     } else {

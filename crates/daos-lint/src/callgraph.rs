@@ -1,0 +1,143 @@
+//! A conservative workspace-wide call graph by name resolution.
+//!
+//! Rust-accurate call resolution needs full type inference; a linter
+//! gets most of the value from much less. A **call site** is an
+//! identifier directly followed by `(` that is not a definition
+//! (`fn name(`) and not a macro (`name!(` never matches — the `!`
+//! separates the ident from the paren). Resolution is by bare name:
+//! a site named `tick` resolves to *every* live (non-test) function
+//! named `tick` anywhere in the workspace, all merged — the
+//! suffix-ambiguity rule from ISSUE 10. Unknown callees (std,
+//! closures, tuple constructors) resolve to nothing and are assumed
+//! non-blocking and lock-free.
+//!
+//! Both halves of that bargain are deliberate: merging keeps the
+//! analysis sound-ish against dynamic dispatch and cross-crate calls
+//! without type information, and unknown-is-clean keeps the noise
+//! floor near zero. The lock passes layer their own exclusions on top
+//! (guard-chained calls, funnel calls) — see `locks.rs`.
+
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Code index (into the file's [`FileModel::code`]) of the callee
+    /// identifier.
+    pub ci: usize,
+    /// The callee's bare name.
+    pub name: String,
+    /// Line of the callee identifier.
+    pub line: u32,
+    /// Whether the site is a method call (preceded by `.`).
+    pub method: bool,
+}
+
+/// Collect the call sites inside the code-index range `range`
+/// (exclusive of the braces themselves), skipping any sub-ranges in
+/// `skip` (nested named fn bodies, which execute on their own calls,
+/// not inline).
+pub fn call_sites(
+    file: &SourceFile,
+    m: &FileModel,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut ci = range.0 + 1;
+    while ci < range.1 {
+        if let Some(&(_, end)) = skip.iter().find(|(start, _)| *start == ci) {
+            ci = end + 1;
+            continue;
+        }
+        if m.kind(file, ci) == TokenKind::Ident
+            && m.is(file, ci + 1, "(")
+            && !(ci > 0 && m.is(file, ci - 1, "fn"))
+        {
+            out.push(CallSite {
+                ci,
+                name: m.text(file, ci).to_string(),
+                line: m.line(file, ci),
+                method: ci > 0 && m.is(file, ci - 1, "."),
+            });
+        }
+        ci += 1;
+    }
+    out
+}
+
+/// The name-resolution index: bare function name → every live function
+/// that bears it, as indices into the caller-supplied function list.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    index: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the index from `(fn_index, name)` pairs (the caller
+    /// supplies only live, non-test functions).
+    pub fn build(names: impl IntoIterator<Item = (usize, String)>) -> CallGraph {
+        let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, name) in names {
+            index.entry(name).or_default().push(idx);
+        }
+        CallGraph { index }
+    }
+
+    /// Every live function a bare name may refer to (empty = unknown
+    /// callee, assumed non-blocking and lock-free).
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.index.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> (SourceFile, FileModel) {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), Some("x".into()), src.into());
+        let m = FileModel::build(&f);
+        (f, m)
+    }
+
+    #[test]
+    fn finds_free_and_method_calls_but_not_macros() {
+        let (f, m) = model(
+            "fn caller(x: S) {\n  helper(1);\n  x.tick();\n  println!(\"skip\");\n  Vec::new();\n}\n",
+        );
+        let sites = call_sites(&f, &m, m.fns[0].body, &[]);
+        let names: Vec<(&str, bool)> =
+            sites.iter().map(|s| (s.name.as_str(), s.method)).collect();
+        assert_eq!(
+            names,
+            vec![("helper", false), ("tick", true), ("new", false)]
+        );
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_skipped_when_requested() {
+        let (f, m) = model(
+            "fn outer() {\n  fn inner() { deep(); }\n  inner();\n}\n",
+        );
+        let skip = vec![m.fns[1].body];
+        let sites = call_sites(&f, &m, m.fns[0].body, &skip);
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["inner"], "deep() belongs to inner, not outer");
+    }
+
+    #[test]
+    fn resolution_merges_same_name_definitions() {
+        let g = CallGraph::build(vec![
+            (0, "tick".to_string()),
+            (1, "tick".to_string()),
+            (2, "other".to_string()),
+        ]);
+        assert_eq!(g.resolve("tick"), &[0, 1]);
+        assert_eq!(g.resolve("other"), &[2]);
+        assert!(g.resolve("unknown").is_empty());
+    }
+}

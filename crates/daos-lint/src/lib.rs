@@ -8,9 +8,15 @@
 //! by `grep`/`awk` guards in `scripts/verify.sh`, which strings, doc
 //! examples, comments and multiline forms all slipped past. This crate
 //! machine-checks them: a hand-rolled comment/string/raw-string-aware
-//! [lexer], a per-file token-stream [pass framework](lints::Pass), six
-//! shipped [lints](lints::all_passes), and a `daos-lint` binary (human
-//! and `--json` output, sysexits codes via `DaosError`).
+//! [lexer], a per-file token-stream [pass framework](lints::Pass), and
+//! a `daos-lint` binary (human and `--json` output, sysexits codes via
+//! `DaosError`). On top of the token stream sits a semantic layer —
+//! a brace-matched [item tree](model), a conservative name-resolution
+//! [call graph](callgraph), and [guard-region analysis](locks) — that
+//! powers the concurrency lints: `lock-order` (deadlock cycles with
+//! witness paths), `blocking-under-lock`, and `guard-discipline`
+//! (poison-funnel enforcement). See [`lints::all_passes`] for the full
+//! catalogue.
 //!
 //! A finding is suppressed — never silenced — with an annotation that
 //! carries its reason:
@@ -22,11 +28,14 @@
 //!
 //! See `DESIGN.md` §11 for the lint catalogue and annotation grammar.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod model;
 pub mod source;
 
-pub use lints::{all_passes, run_all, Pass, ALLOW_KEYS};
+pub use lints::{all_passes, run_all, run_filtered, Pass, ALLOW_KEYS};
 pub use source::{SourceFile, Workspace};
 
 use daos_util::json::{Json, ToJson};
@@ -82,8 +91,21 @@ impl ToJson for Finding {
 /// Load `root` and run every lint: the one-call entry point the binary
 /// and the self-check test share.
 pub fn lint_workspace(root: &Path) -> Result<(Workspace, Vec<Finding>), daos::DaosError> {
+    lint_workspace_filtered(root, None)
+}
+
+/// [`lint_workspace`], optionally restricted to a single pass by name
+/// (`daos-lint --pass`). An unknown pass name is a usage error.
+pub fn lint_workspace_filtered(
+    root: &Path,
+    pass: Option<&str>,
+) -> Result<(Workspace, Vec<Finding>), daos::DaosError> {
     let ws = Workspace::load(root)?;
-    let findings = run_all(&ws);
+    let findings = run_filtered(&ws, pass).map_err(|unknown| {
+        daos::DaosError::usage(format!(
+            "unknown pass `{unknown}` (see daos-lint --list-passes)"
+        ))
+    })?;
     Ok((ws, findings))
 }
 

@@ -1,0 +1,111 @@
+//! **blocking-under-lock** — no guard is held across a blocking call.
+//!
+//! A thread that blocks while holding a lock stalls every other thread
+//! that wants it; under the shared worker pool that turns one slow
+//! connection into a convoy. This pass walks every live guard region
+//! (see [`crate::locks`]) and flags calls to known-blocking operations
+//! inside it: `thread::sleep`, thread/channel waits (`join`, `park`,
+//! `recv*`), socket and file I/O (`accept`, `connect`, `peek`,
+//! `flush`, `read_*`, `write_all`, `write_fmt`), and the pool's own
+//! batch entry points (`run_batch`, `submit`), which block until every
+//! task in the batch retires.
+//!
+//! `Condvar` waits get the one principled exception: `wait`-family
+//! calls whose first argument *is the region's own guard* are the
+//! condition-variable idiom (the wait releases exactly that lock) and
+//! stay clean. A wait on a different guard — releasing lock `b` while
+//! still pinning lock `a` — is flagged like any other blocking call.
+//! Calls chained on the guard expression itself are deliberately in
+//! scope: `recover(out.lock()).write_all(buf)` is socket I/O under the
+//! lock no matter how tersely it is spelled.
+
+use super::Pass;
+use crate::source::Workspace;
+use crate::Finding;
+use crate::locks::Analysis;
+
+/// Known-blocking callee names.
+const BLOCKING: [&str; 19] = [
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "park",
+    "peek",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_until",
+    "recv",
+    "recv_deadline",
+    "recv_timeout",
+    "run_batch",
+    "sleep",
+    "submit",
+    "write_all",
+    "write_fmt",
+];
+
+pub struct BlockingUnderLock;
+
+impl Pass for BlockingUnderLock {
+    fn name(&self) -> &'static str {
+        "blocking-under-lock"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "blocking"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let a = Analysis::build(ws);
+        for fa in &a.fns {
+            let file = &ws.files[fa.file];
+            let m = &a.models[fa.file];
+            let holder = a.def(fa).qualified();
+            for acq in &fa.acquisitions {
+                for c in &fa.calls {
+                    if !acq.covers(c.ci) {
+                        continue;
+                    }
+                    let wait_family =
+                        matches!(c.name.as_str(), "wait" | "wait_timeout" | "wait_while");
+                    if wait_family {
+                        // `cv.wait(g)` releases exactly the guard it is
+                        // handed: clean for that guard's own region.
+                        let first_arg_is_own_guard = acq
+                            .binding
+                            .as_deref()
+                            .is_some_and(|b| m.is(file, c.ci + 2, b));
+                        if first_arg_is_own_guard {
+                            continue;
+                        }
+                        out.push(Finding::new(
+                            self.name(),
+                            &file.rel,
+                            c.line,
+                            format!(
+                                "`{holder}` calls `{}` while the guard of `{}` \
+                                 (acquired line {}) is live; a wait releases only \
+                                 its own lock",
+                                c.name, acq.lock, acq.line
+                            ),
+                        ));
+                    } else if BLOCKING.contains(&c.name.as_str()) {
+                        out.push(Finding::new(
+                            self.name(),
+                            &file.rel,
+                            c.line,
+                            format!(
+                                "`{holder}` calls blocking `{}` while the guard of \
+                                 `{}` (acquired line {}) is live",
+                                c.name, acq.lock, acq.line
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

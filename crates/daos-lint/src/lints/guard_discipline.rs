@@ -1,0 +1,63 @@
+//! **guard-discipline** — every guard acquisition recovers from poison.
+//!
+//! The workspace's policy is that a poisoned lock is a *survivable*
+//! event: the panic that poisoned it is already being reported, and the
+//! protected data is either valid or about to be discarded. Every
+//! acquisition must therefore flow through a poison funnel —
+//! `recover(…)`, the `lock(…)` helper, or an inline
+//! `.unwrap_or_else(PoisonError::into_inner)` — instead of stacking a
+//! second panic on top with `.lock().unwrap()`.
+//!
+//! The [guard analysis](crate::locks) classifies each acquisition:
+//! funnel-wrapped and `into_inner`-recovered sites are clean; a bare
+//! `.unwrap()` / `.expect(…)` on the acquisition result is the classic
+//! violation; and an acquisition with no recovery at all (a raw
+//! `Result` guard flowing elsewhere) is flagged too, because the
+//! funnels exist precisely so that callers never handle
+//! `PoisonError` ad hoc.
+
+use super::Pass;
+use crate::locks::Analysis;
+use crate::source::Workspace;
+use crate::Finding;
+
+pub struct GuardDiscipline;
+
+impl Pass for GuardDiscipline {
+    fn name(&self) -> &'static str {
+        "guard-discipline"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "guard"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let a = Analysis::build(ws);
+        for fa in &a.fns {
+            let file = &ws.files[fa.file];
+            let holder = a.def(fa).qualified();
+            for acq in &fa.acquisitions {
+                if acq.recovered {
+                    continue;
+                }
+                let message = if acq.panic_suffix {
+                    format!(
+                        "`{holder}`: bare `{}.{}().unwrap()`-style acquisition \
+                         panics on poison; route it through `recover(…)` or \
+                         `.unwrap_or_else(PoisonError::into_inner)`",
+                        acq.lock, acq.method
+                    )
+                } else {
+                    format!(
+                        "`{holder}`: acquisition `{}.{}()` does not flow through \
+                         a poison funnel (`recover(…)` / `lock(…)` / \
+                         `.unwrap_or_else(PoisonError::into_inner)`)",
+                        acq.lock, acq.method
+                    )
+                };
+                out.push(Finding::new(self.name(), &file.rel, acq.line, message));
+            }
+        }
+    }
+}

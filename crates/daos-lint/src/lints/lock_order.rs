@@ -1,0 +1,265 @@
+//! **lock-order** — no two locks are ever acquired in opposite orders.
+//!
+//! The pass builds a global **lock-acquisition-order graph**: an edge
+//! `a → b` means some function acquires lock `b` while a guard of lock
+//! `a` is live. Edges come from two sources:
+//!
+//! 1. **Nested acquisitions**: a second acquisition site inside a live
+//!    guard region of the same function.
+//! 2. **One-level call propagation**: a call site inside a live guard
+//!    region, resolved through the [call graph](crate::callgraph) to
+//!    every live function of that name; each of *those* functions'
+//!    direct acquisitions adds an edge. One level only — deeper
+//!    transitive holding is out of scope by design (the call graph is
+//!    name-merged, and each extra level multiplies its imprecision).
+//!
+//! Calls chained directly on a guard expression
+//! (`lock(&s.hist).record(x)`) are *excluded* from propagation: they
+//! operate on the guarded data, and under name-merged resolution they
+//! routinely resolve back to the acquiring wrapper itself, producing
+//! spurious self-cycles. Funnel calls and `.lock()`-method sites are
+//! likewise excluded — they *are* the acquisitions, already modelled.
+//!
+//! Any cycle in the graph — including a self-edge, i.e. re-acquiring a
+//! lock already held — is a potential deadlock. The finding prints the
+//! full witness path: every edge on the cycle with the function, file
+//! and line that created it. Suppression (`// lint:
+//! allow(lock-order, <reason>)`) is applied per *edge*, at the edge's
+//! witness line, so annotating one justified nesting removes exactly
+//! that edge from the graph.
+
+use super::Pass;
+use crate::locks::{Analysis, LOCK_METHODS};
+use crate::source::Workspace;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct LockOrder;
+
+/// Why an edge exists: where, and in which function.
+struct Witness {
+    file: String,
+    line: u32,
+    detail: String,
+}
+
+impl Pass for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn allow_key(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let a = Analysis::build(ws);
+
+        // from-lock → to-lock → first witness.
+        let mut edges: BTreeMap<String, BTreeMap<String, Witness>> = BTreeMap::new();
+        let mut add = |from: &str, to: &str, w: Witness| {
+            edges
+                .entry(from.to_string())
+                .or_default()
+                .entry(to.to_string())
+                .or_insert(w);
+        };
+
+        for fa in &a.fns {
+            let file = &ws.files[fa.file];
+            let holder = a.def(fa).qualified();
+            for (i, acq) in fa.acquisitions.iter().enumerate() {
+                // 1. Nested direct acquisitions.
+                for (j, b) in fa.acquisitions.iter().enumerate() {
+                    if i == j || !acq.covers(b.site) {
+                        continue;
+                    }
+                    if file.allowed(self.allow_key(), b.line) {
+                        continue;
+                    }
+                    add(
+                        &acq.lock,
+                        &b.lock,
+                        Witness {
+                            file: file.rel.clone(),
+                            line: b.line,
+                            detail: format!(
+                                "`{holder}` acquires `{}` while holding `{}`",
+                                b.lock, acq.lock
+                            ),
+                        },
+                    );
+                }
+                // 2. One-level propagation through calls under the guard.
+                for c in &fa.calls {
+                    if !acq.covers(c.ci)
+                        || acq.chained.contains(&c.ci)
+                        || (c.method && LOCK_METHODS.contains(&c.name.as_str()))
+                        || (!c.method && a.funnels.contains(&c.name))
+                    {
+                        continue;
+                    }
+                    if file.allowed(self.allow_key(), c.line) {
+                        continue;
+                    }
+                    for &ti in a.graph.resolve(&c.name) {
+                        let callee = &a.fns[ti];
+                        let callee_name = a.def(callee).qualified();
+                        for b in &callee.acquisitions {
+                            add(
+                                &acq.lock,
+                                &b.lock,
+                                Witness {
+                                    file: file.rel.clone(),
+                                    line: c.line,
+                                    detail: format!(
+                                        "`{holder}` holds `{}` across a call to \
+                                         `{callee_name}`, which acquires `{}`",
+                                        acq.lock, b.lock
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        for cycle in cycles(&edges) {
+            let path: Vec<&Witness> = cycle
+                .windows(2)
+                .map(|w| &edges[&w[0]][&w[1]])
+                .collect();
+            let names = cycle.join("` -> `");
+            let legs: Vec<String> = path
+                .iter()
+                .map(|w| format!("{} at {}:{}", w.detail, w.file, w.line))
+                .collect();
+            out.push(Finding::new(
+                self.name(),
+                &path[0].file,
+                path[0].line,
+                format!(
+                    "potential deadlock: lock-order cycle `{names}` ({})",
+                    legs.join("; ")
+                ),
+            ));
+        }
+    }
+}
+
+/// One witness cycle per strongly connected component that has one:
+/// each returned path is `[l0, l1, …, l0]`. Deterministic: components
+/// and start nodes in lexicographic order.
+fn cycles(edges: &BTreeMap<String, BTreeMap<String, Witness>>) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, tos) in edges {
+        nodes.insert(from);
+        for to in tos.keys() {
+            nodes.insert(to);
+        }
+    }
+    let succ = |n: &str| -> Vec<&str> {
+        edges.get(n).map_or_else(Vec::new, |m| m.keys().map(String::as_str).collect())
+    };
+
+    // Kosaraju: order by first DFS finish time, then assign components
+    // on the transposed graph.
+    let mut finish: Vec<&str> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &start in &nodes {
+        if seen.contains(start) {
+            continue;
+        }
+        // Iterative DFS with an explicit post-visit marker.
+        let mut stack: Vec<(&str, bool)> = vec![(start, false)];
+        while let Some((n, post)) = stack.pop() {
+            if post {
+                finish.push(n);
+                continue;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            stack.push((n, true));
+            for s in succ(n) {
+                if !seen.contains(s) {
+                    stack.push((s, false));
+                }
+            }
+        }
+    }
+    let mut pred: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, tos) in edges {
+        for to in tos.keys() {
+            pred.entry(to).or_default().push(from);
+        }
+    }
+    let mut comp: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut n_comps = 0;
+    for &n in finish.iter().rev() {
+        if comp.contains_key(n) {
+            continue;
+        }
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            if comp.insert(m, n_comps).is_none() {
+                for p in pred.get(m).map_or(&[][..], Vec::as_slice) {
+                    if !comp.contains_key(*p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        n_comps += 1;
+    }
+
+    let mut out = Vec::new();
+    let mut comp_nodes: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+    for (&n, &c) in &comp {
+        comp_nodes.entry(c).or_default().push(n);
+    }
+    let mut components: Vec<Vec<&str>> = comp_nodes.into_values().collect();
+    components.sort();
+    for members in components {
+        let set: BTreeSet<&str> = members.iter().copied().collect();
+        let start = members[0];
+        if members.len() == 1 {
+            // Cyclic only via a self-edge.
+            if edges.get(start).is_some_and(|m| m.contains_key(start)) {
+                out.push(vec![start.to_string(), start.to_string()]);
+            }
+            continue;
+        }
+        // BFS from `start` within the component, then close the loop
+        // through any member with an edge back to `start`.
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut reached: BTreeSet<&str> = BTreeSet::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for s in succ(n) {
+                if set.contains(s) && reached.insert(s) {
+                    prev.insert(s, n);
+                    queue.push_back(s);
+                }
+            }
+        }
+        let back = members.iter().copied().find(|m| {
+            *m != start
+                && reached.contains(m)
+                && edges.get(*m).is_some_and(|e| e.contains_key(start))
+        });
+        if let Some(back) = back {
+            let mut path = vec![back];
+            let mut cur = back;
+            while cur != start {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            path.push(start);
+            out.push(path.into_iter().map(str::to_string).collect());
+        }
+    }
+    out
+}

@@ -9,8 +9,11 @@ use crate::source::{SourceFile, Workspace};
 use crate::Finding;
 
 mod atomic_ordering;
+mod blocking_under_lock;
 mod dead_tracepoint;
 mod determinism;
+mod guard_discipline;
+mod lock_order;
 mod metric_name;
 mod no_print;
 mod panic_discipline;
@@ -30,8 +33,17 @@ pub trait Pass {
 }
 
 /// The allow keys annotations may name (one per suppressible lint).
-pub const ALLOW_KEYS: [&str; 6] =
-    ["print", "panic", "time", "ordering", "tracepoint", "metric"];
+pub const ALLOW_KEYS: [&str; 9] = [
+    "print",
+    "panic",
+    "time",
+    "ordering",
+    "tracepoint",
+    "metric",
+    "lock-order",
+    "blocking",
+    "guard",
+];
 
 /// Every shipped lint, in reporting order.
 pub fn all_passes() -> Vec<Box<dyn Pass>> {
@@ -43,18 +55,37 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(atomic_ordering::AtomicOrdering),
         Box::new(dead_tracepoint::DeadTracepoint),
         Box::new(metric_name::MetricName),
+        Box::new(lock_order::LockOrder),
+        Box::new(blocking_under_lock::BlockingUnderLock),
+        Box::new(guard_discipline::GuardDiscipline),
     ]
 }
 
 /// Run every pass, apply `// lint: allow(…)` suppression, and return
-/// the surviving findings sorted by `(file, line, lint)`. Malformed
+/// the surviving findings sorted by `(file, line, lint)` (message as
+/// the final tiebreak, so the order is fully deterministic). Malformed
 /// annotations are themselves findings (never suppressible).
 pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    // lint: allow(panic, run_filtered only errs for Some(unknown-pass) filters)
+    run_filtered(ws, None).expect("unfiltered run cannot name an unknown pass")
+}
+
+/// [`run_all`], optionally restricted to one pass by name (the
+/// `daos-lint --pass` fast path). Annotation findings are only
+/// included in unfiltered runs. `Err` carries the unknown pass name.
+pub fn run_filtered(ws: &Workspace, only: Option<&str>) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
-    for f in &ws.files {
-        findings.extend(f.annotation_findings.iter().cloned());
+    if only.is_none() {
+        for f in &ws.files {
+            findings.extend(f.annotation_findings.iter().cloned());
+        }
     }
+    let mut matched = false;
     for pass in all_passes() {
+        if only.is_some_and(|name| name != pass.name()) {
+            continue;
+        }
+        matched = true;
         let mut raw = Vec::new();
         pass.check(ws, &mut raw);
         let key = pass.allow_key();
@@ -67,10 +98,15 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
         });
         findings.extend(raw);
     }
+    if let Some(name) = only {
+        if !matched {
+            return Err(name.to_string());
+        }
+    }
     findings.sort_by(|a, b| {
-        (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint))
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
     });
-    findings
+    Ok(findings)
 }
 
 /// A file's comment-free token stream, indexed densely — the view

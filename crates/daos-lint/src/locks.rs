@@ -1,0 +1,769 @@
+//! Guard-region analysis: where are lock guards *live*?
+//!
+//! An **acquisition** is either a direct `.lock()` / `.read()` /
+//! `.write()` call (empty argument list — which is what distinguishes
+//! `Mutex::lock` from `io::Read::read(&mut buf)`), or a call through a
+//! **poison funnel** — a workspace function named `recover` or `lock`
+//! whose body mentions `PoisonError` (the `unwrap_or_else(PoisonError::
+//! into_inner)` idiom the codebase standardises on).
+//!
+//! Each acquisition gets a **region**: the code-index span where the
+//! guard is assumed live. A guard bound by `let g = …;` lives until the
+//! first of `drop(g)`, a rebinding of `g` (`g = cv.wait(g)` — the loop
+//! idiom), or the enclosing block's `}`. A temporary guard
+//! (`recover(m.lock()).push_back(x);`) lives to the end of its
+//! statement. Both rules *under*-approximate real Rust temporaries
+//! (rebinding actually returns the same guard; `if let` scrutinee
+//! temporaries outlive the body) — deliberately: the passes built on
+//! regions (`lock-order`, `blocking-under-lock`) must not cry wolf, so
+//! a region ends as soon as the source stops saying it is needed.
+//!
+//! The analysis also classifies each acquisition's poison handling for
+//! the `guard-discipline` pass: funnel-wrapped and
+//! `.unwrap_or_else(… into_inner)` sites are *recovered*; a chained
+//! `.unwrap()` / `.expect(…)` is a bare panic on poison; anything else
+//! is an unfunnelled acquisition.
+
+use crate::callgraph::{call_sites, CallGraph, CallSite};
+use crate::lexer::TokenKind;
+use crate::model::{FileModel, FnDef};
+use crate::source::{SourceFile, Workspace};
+use std::collections::BTreeSet;
+
+/// The direct acquisition method names.
+pub const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// One guard acquisition and its live region.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// The lock's name: the receiver's last field identifier
+    /// (`self.shared.snap.read()` → `snap`), or the funnel argument's
+    /// last identifier (`lock(&inner.queue)` → `queue`).
+    pub lock: String,
+    /// `lock`, `read`, `write`, or `funnel`.
+    pub method: String,
+    /// Line of the acquisition.
+    pub line: u32,
+    /// Code index of the acquisition identifier (method name or funnel
+    /// name).
+    pub site: usize,
+    /// Code-index span where the guard is live: `(site, end)`, `end`
+    /// being the terminator token (`;`, `}`, `drop`, or the rebinding
+    /// identifier). Sites strictly inside are "under" this guard.
+    pub region: (usize, usize),
+    /// The guard's binding name, for `let g = <acquisition>;` forms.
+    pub binding: Option<String>,
+    /// Poison is recovered: funnel-wrapped or
+    /// `.unwrap_or_else(… into_inner)`.
+    pub recovered: bool,
+    /// A `.unwrap()` / `.expect(…)` is chained directly on the
+    /// acquisition result.
+    pub panic_suffix: bool,
+    /// Code indices of call identifiers chained on the guard expression
+    /// itself (`recover(q.lock()).push_back(x)` → `push_back`). These
+    /// operate on the guarded data and are excluded from lock-order
+    /// call propagation.
+    pub chained: Vec<usize>,
+}
+
+impl Acquisition {
+    /// Is code index `ci` strictly inside this guard's live region?
+    pub fn covers(&self, ci: usize) -> bool {
+        ci > self.region.0 && ci < self.region.1
+    }
+}
+
+/// Per-function analysis results.
+#[derive(Debug)]
+pub struct FnAnalysis {
+    /// Index into [`Workspace::files`] / [`Analysis::models`].
+    pub file: usize,
+    /// Index into that file model's `fns`.
+    pub def: usize,
+    /// Guard acquisitions in this function's body.
+    pub acquisitions: Vec<Acquisition>,
+    /// Call sites in this function's body (nested fn bodies excluded).
+    pub calls: Vec<CallSite>,
+}
+
+/// The whole-workspace concurrency analysis the three lock passes
+/// share: item trees, the poison-funnel set, per-function acquisition
+/// regions and call sites, and the name-resolution call graph.
+#[derive(Debug)]
+pub struct Analysis {
+    /// One [`FileModel`] per [`Workspace::files`] entry.
+    pub models: Vec<FileModel>,
+    /// Names of the workspace's poison-funnel functions.
+    pub funnels: BTreeSet<String>,
+    /// Every live (non-test) function, across all files.
+    pub fns: Vec<FnAnalysis>,
+    /// Bare-name resolution over `fns` indices.
+    pub graph: CallGraph,
+}
+
+impl Analysis {
+    /// Build the analysis for a loaded workspace.
+    pub fn build(ws: &Workspace) -> Analysis {
+        let models: Vec<FileModel> = ws.files.iter().map(FileModel::build).collect();
+
+        let mut funnels = BTreeSet::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for def in &models[fi].fns {
+                if !def.is_test
+                    && (def.name == "recover" || def.name == "lock")
+                    && body_mentions(file, &models[fi], def, "PoisonError")
+                {
+                    funnels.insert(def.name.clone());
+                }
+            }
+        }
+
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let m = &models[fi];
+            for (di, def) in m.fns.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                let skip: Vec<(usize, usize)> = m
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, g)| {
+                        *j != di && g.body.0 > def.body.0 && g.body.1 < def.body.1
+                    })
+                    .map(|(_, g)| g.body)
+                    .collect();
+                fns.push(FnAnalysis {
+                    file: fi,
+                    def: di,
+                    acquisitions: find_acquisitions(file, m, def.body, &skip, &funnels),
+                    calls: call_sites(file, m, def.body, &skip),
+                });
+            }
+        }
+
+        let graph = CallGraph::build(
+            fns.iter()
+                .enumerate()
+                .map(|(i, fa)| (i, models[fa.file].fns[fa.def].name.clone())),
+        );
+        Analysis { models, funnels, fns, graph }
+    }
+
+    /// The [`FnDef`] behind a `fns` entry.
+    pub fn def(&self, fa: &FnAnalysis) -> &FnDef {
+        &self.models[fa.file].fns[fa.def]
+    }
+}
+
+/// Does a function's body contain an identifier with text `word`?
+fn body_mentions(file: &SourceFile, m: &FileModel, def: &FnDef, word: &str) -> bool {
+    (def.body.0..=def.body.1).any(|ci| {
+        m.kind(file, ci) == TokenKind::Ident && m.text(file, ci) == word
+    })
+}
+
+/// A thin cursor over one file model, to keep the pattern matching
+/// below readable.
+struct V<'a> {
+    f: &'a SourceFile,
+    m: &'a FileModel,
+}
+
+impl V<'_> {
+    fn len(&self) -> usize {
+        self.m.code.len()
+    }
+    fn kind(&self, ci: usize) -> TokenKind {
+        self.m.kind(self.f, ci)
+    }
+    fn text(&self, ci: usize) -> &str {
+        self.m.text(self.f, ci)
+    }
+    fn line(&self, ci: usize) -> u32 {
+        self.m.line(self.f, ci)
+    }
+    fn is(&self, ci: usize, s: &str) -> bool {
+        self.m.is(self.f, ci, s)
+    }
+    fn ident(&self, ci: usize) -> Option<&str> {
+        (ci < self.len() && self.kind(ci) == TokenKind::Ident).then(|| self.text(ci))
+    }
+
+    /// Forward delimiter match from `at` (holding `open`).
+    fn close(&self, at: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0isize;
+        for ci in at..self.len() {
+            if self.kind(ci) != TokenKind::Punct {
+                continue;
+            }
+            let t = self.text(ci);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+        }
+        None
+    }
+
+    /// Backward delimiter match from `at` (holding `close`).
+    fn open(&self, at: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0isize;
+        for ci in (0..=at).rev() {
+            if self.kind(ci) != TokenKind::Punct {
+                continue;
+            }
+            let t = self.text(ci);
+            if t == close {
+                depth += 1;
+            } else if t == open {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Find every acquisition in `range`, skipping nested-fn body ranges.
+pub fn find_acquisitions(
+    file: &SourceFile,
+    m: &FileModel,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+    funnels: &BTreeSet<String>,
+) -> Vec<Acquisition> {
+    let v = V { f: file, m };
+    let mut out = Vec::new();
+    let mut ci = range.0 + 1;
+    while ci < range.1 {
+        if let Some(&(_, end)) = skip.iter().find(|(s, _)| *s == ci) {
+            ci = end + 1;
+            continue;
+        }
+        // Direct method form: `.lock()` / `.read()` / `.write()`.
+        if v.is(ci, ".")
+            && v.ident(ci + 1).is_some_and(|t| LOCK_METHODS.contains(&t))
+            && v.is(ci + 2, "(")
+            && v.is(ci + 3, ")")
+        {
+            if let Some(a) = method_acquisition(&v, ci, range, skip, funnels) {
+                out.push(a);
+            }
+            ci += 4;
+            continue;
+        }
+        // Funnel-call form: `lock(&path)` — the funnel acquires inside.
+        if v.ident(ci).is_some_and(|t| funnels.contains(t))
+            && v.is(ci + 1, "(")
+            && !(ci > 0 && (v.is(ci - 1, ".") || v.is(ci - 1, "fn")))
+        {
+            if let Some(a) = funnel_acquisition(&v, ci, range, skip) {
+                out.push(a);
+            }
+        }
+        ci += 1;
+    }
+    out
+}
+
+/// Parse a `.lock()`-form acquisition whose `.` sits at `dot`.
+fn method_acquisition(
+    v: &V,
+    dot: usize,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+    funnels: &BTreeSet<String>,
+) -> Option<Acquisition> {
+    let method_tok = dot + 1;
+    let call_close = dot + 3;
+
+    // Walk the receiver path backwards: identifiers, `.`/`:` path
+    // separators, and `[…]` / `(…)` groups. The first identifier met
+    // (outside groups) is the lock's field name.
+    let mut name: Option<String> = None;
+    let mut start = dot;
+    let mut j = dot.checked_sub(1)?;
+    loop {
+        match v.text(j) {
+            "]" => {
+                let o = v.open(j, "[", "]")?;
+                start = o;
+                j = o.checked_sub(1)?;
+            }
+            ")" => {
+                let o = v.open(j, "(", ")")?;
+                start = o;
+                j = o.checked_sub(1)?;
+            }
+            "." | ":" => {
+                start = j;
+                match j.checked_sub(1) {
+                    Some(p) => j = p,
+                    None => break,
+                }
+            }
+            _ if matches!(v.kind(j), TokenKind::Ident | TokenKind::Number) => {
+                if name.is_none() && v.kind(j) == TokenKind::Ident {
+                    name = Some(v.text(j).to_string());
+                }
+                start = j;
+                match j.checked_sub(1) {
+                    Some(p) => j = p,
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    let name = name.unwrap_or_else(|| "<expr>".to_string());
+
+    // Funnel prefix: `recover(count.lock())` — skip leading `&`/`*`,
+    // expect `(` preceded by a funnel identifier (not a method call).
+    let mut pre = start;
+    while pre > 0 && matches!(v.text(pre - 1), "&" | "*" | "mut") {
+        pre -= 1;
+    }
+    let funnel = pre >= 2
+        && v.is(pre - 1, "(")
+        && v.ident(pre - 2).is_some_and(|t| funnels.contains(t))
+        && !(pre >= 3 && v.is(pre - 3, "."));
+
+    let (expr_start, expr_end, recovered, panic_suffix) = if funnel {
+        let fc = v.close(pre - 1, "(", ")")?;
+        (pre - 2, fc, true, false)
+    } else {
+        // Suffix classification on the raw `Result<Guard, _>`.
+        let k = call_close + 1;
+        if v.is(k, ".") {
+            match v.ident(k + 1) {
+                Some("unwrap_or_else") if v.is(k + 2, "(") => {
+                    let ce = v.close(k + 2, "(", ")")?;
+                    let rec = (k + 3..ce)
+                        .any(|p| v.ident(p) == Some("into_inner"));
+                    (start, ce, rec, false)
+                }
+                Some("unwrap") if v.is(k + 2, "(") && v.is(k + 3, ")") => {
+                    (start, k + 3, false, true)
+                }
+                Some("expect") if v.is(k + 2, "(") => {
+                    (start, v.close(k + 2, "(", ")")?, false, true)
+                }
+                _ => (start, call_close, false, false),
+            }
+        } else {
+            (start, call_close, false, false)
+        }
+    };
+
+    finish(
+        v,
+        Acq {
+            lock: name,
+            method: v.text(method_tok).to_string(),
+            line: v.line(method_tok),
+            site: method_tok,
+            expr_start,
+            expr_end,
+            recovered,
+            panic_suffix,
+        },
+        range,
+        skip,
+    )
+}
+
+/// Parse a `lock(&inner.queue)`-style funnel-call acquisition whose
+/// funnel identifier sits at `at`.
+fn funnel_acquisition(
+    v: &V,
+    at: usize,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+) -> Option<Acquisition> {
+    let cp = v.close(at + 1, "(", ")")?;
+    // If the arguments contain a direct `.lock()`-form acquisition the
+    // inner site owns this acquisition (with this funnel as prefix).
+    let has_inner = (at + 2..cp).any(|j| {
+        v.is(j, ".")
+            && v.ident(j + 1).is_some_and(|t| LOCK_METHODS.contains(&t))
+            && v.is(j + 2, "(")
+            && v.is(j + 3, ")")
+    });
+    if has_inner {
+        return None;
+    }
+    // Only simple-path arguments acquire: `&self.queue`, `sh`,
+    // `&shards[i]`. Anything with nested calls (`recover(cv.wait(g))`)
+    // is not an acquisition.
+    let simple = (at + 2..cp).all(|j| {
+        matches!(v.kind(j), TokenKind::Ident | TokenKind::Number)
+            || matches!(v.text(j), "&" | "*" | "." | ":" | "[" | "]" | "mut")
+    });
+    if !simple || cp == at + 2 {
+        return None;
+    }
+    // The lock name: last identifier at bracket depth 0 in the args.
+    let mut depth = 0isize;
+    let mut name = None;
+    for j in at + 2..cp {
+        match v.text(j) {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            _ if depth == 0 && v.kind(j) == TokenKind::Ident => {
+                name = Some(v.text(j).to_string());
+            }
+            _ => {}
+        }
+    }
+    finish(
+        v,
+        Acq {
+            lock: name?,
+            method: "funnel".to_string(),
+            line: v.line(at),
+            site: at,
+            expr_start: at,
+            expr_end: cp,
+            recovered: true,
+            panic_suffix: false,
+        },
+        range,
+        skip,
+    )
+}
+
+/// Parameters common to the two acquisition forms, handed to [`finish`]
+/// for chain/binding/region resolution.
+struct Acq {
+    lock: String,
+    method: String,
+    line: u32,
+    site: usize,
+    expr_start: usize,
+    expr_end: usize,
+    recovered: bool,
+    panic_suffix: bool,
+}
+
+/// Resolve the trailing chain, the binding, and the live region.
+fn finish(
+    v: &V,
+    a: Acq,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+) -> Option<Acquisition> {
+    // Trailing chain on the guard expression: `.push_back(x)`, `.0`.
+    let mut chained = Vec::new();
+    let mut e = a.expr_end;
+    while v.is(e + 1, ".") {
+        if let Some(_) = v.ident(e + 2) {
+            if v.is(e + 3, "(") {
+                chained.push(e + 2);
+                e = v.close(e + 3, "(", ")")?;
+            } else {
+                e = e + 2;
+            }
+        } else if e + 2 < v.len() && v.kind(e + 2) == TokenKind::Number {
+            e = e + 2;
+        } else {
+            break;
+        }
+    }
+    let chain_end = e;
+
+    // Bound iff the acquisition expression (with no trailing chain) is
+    // the whole initializer: `… = <expr>;` with an identifier on the
+    // left. A leading `&`/`*` on the receiver means the statement
+    // borrows through a temporary instead.
+    let es = a.expr_start;
+    let deref_prefix =
+        es > 0 && matches!(v.text(es - 1), "&" | "*") && a.method != "funnel";
+    let binding = if !deref_prefix
+        && chained.is_empty()
+        && v.is(chain_end + 1, ";")
+        && es >= 2
+        && v.is(es - 1, "=")
+        && !(es >= 3 && v.is(es - 2, "="))
+        && v.kind(es - 2) == TokenKind::Ident
+        && !(es >= 3 && v.is(es - 3, "."))
+    {
+        Some(v.text(es - 2).to_string())
+    } else {
+        None
+    };
+
+    let end = match &binding {
+        Some(name) => bound_region_end(v, chain_end + 1, name, range, skip),
+        None => temp_region_end(v, chain_end + 1, range),
+    };
+    Some(Acquisition {
+        lock: a.lock,
+        method: a.method,
+        line: a.line,
+        site: a.site,
+        region: (a.site, end),
+        binding,
+        recovered: a.recovered,
+        panic_suffix: a.panic_suffix,
+        chained,
+    })
+}
+
+/// Where a bound guard's region ends: `drop(name)`, a rebinding of
+/// `name`, or the enclosing block's `}` — whichever comes first.
+fn bound_region_end(
+    v: &V,
+    from: usize,
+    name: &str,
+    range: (usize, usize),
+    skip: &[(usize, usize)],
+) -> usize {
+    let mut depth = 0isize;
+    let mut p = from;
+    while p < range.1 {
+        if let Some(&(_, end)) = skip.iter().find(|(s, _)| *s == p) {
+            p = end + 1;
+            continue;
+        }
+        match v.text(p) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return p;
+                }
+            }
+            "drop"
+                if v.kind(p) == TokenKind::Ident
+                    && v.is(p + 1, "(")
+                    && v.ident(p + 2) == Some(name)
+                    && v.is(p + 3, ")") =>
+            {
+                return p;
+            }
+            t if v.kind(p) == TokenKind::Ident
+                && t == name
+                && v.is(p + 1, "=")
+                && !v.is(p + 2, "=")
+                && !v.is(p + 2, ">")
+                && !(p > 0 && v.is(p - 1, ".")) =>
+            {
+                return p;
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    range.1
+}
+
+/// Where a temporary guard's region ends: the end of its statement
+/// (`;` or `,` at depth 0), a block opening at depth 0, or any closer
+/// that leaves the expression.
+fn temp_region_end(v: &V, from: usize, range: (usize, usize)) -> usize {
+    let mut depth = 0isize;
+    let mut p = from;
+    while p < range.1 {
+        match v.text(p) {
+            "{" if depth == 0 => return p,
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return p;
+                }
+            }
+            ";" | "," if depth == 0 => return p,
+            _ => {}
+        }
+        p += 1;
+    }
+    range.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::parse(
+                "crates/x/src/lib.rs".into(),
+                Some("x".into()),
+                src.into(),
+            )],
+            manifests: Vec::new(),
+        }
+    }
+
+    const FUNNEL: &str = "\
+        fn recover<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {\n\
+            r.unwrap_or_else(std::sync::PoisonError::into_inner)\n\
+        }\n";
+
+    fn acquisitions_of<'a>(a: &'a Analysis, name: &str) -> &'a FnAnalysis {
+        a.fns
+            .iter()
+            .find(|fa| a.def(fa).name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn funnel_functions_are_detected() {
+        let w = ws(&format!("{FUNNEL}fn other() {{}}\n"));
+        let a = Analysis::build(&w);
+        assert!(a.funnels.contains("recover"));
+        assert_eq!(a.funnels.len(), 1);
+    }
+
+    #[test]
+    fn method_acquisition_names_the_field_and_classifies_recovery() {
+        let w = ws(&format!(
+            "{FUNNEL}\
+             struct S {{ a: std::sync::Mutex<u64> }}\n\
+             impl S {{\n\
+               fn good(&self) {{ let g = recover(self.a.lock()); let _ = *g; }}\n\
+               fn bare(&self) {{ let g = self.a.lock().unwrap(); let _ = *g; }}\n\
+               fn inline(&self) {{ let g = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner); let _ = *g; }}\n\
+             }}\n"
+        ));
+        let a = Analysis::build(&w);
+        let good = &acquisitions_of(&a, "good").acquisitions[0];
+        assert_eq!((good.lock.as_str(), good.recovered, good.panic_suffix), ("a", true, false));
+        assert_eq!(good.binding.as_deref(), Some("g"));
+        let bare = &acquisitions_of(&a, "bare").acquisitions[0];
+        assert_eq!((bare.recovered, bare.panic_suffix), (false, true));
+        let inline = &acquisitions_of(&a, "inline").acquisitions[0];
+        assert_eq!((inline.recovered, inline.panic_suffix), (true, false));
+    }
+
+    #[test]
+    fn funnel_call_form_acquires_by_argument_path() {
+        let w = ws(
+            "use std::sync::{Mutex, MutexGuard, PoisonError};\n\
+             fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+                 m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+             }\n\
+             struct Inner { queue: Mutex<u64> }\n\
+             impl Inner {\n\
+               fn take(&self) { let q = lock(&self.queue); let _ = *q; }\n\
+             }\n",
+        );
+        let a = Analysis::build(&w);
+        let take = acquisitions_of(&a, "take");
+        // One acquisition in `take` (queue); the funnel's own `m.lock()`
+        // belongs to the funnel fn.
+        assert_eq!(take.acquisitions.len(), 1);
+        let q = &take.acquisitions[0];
+        assert_eq!((q.lock.as_str(), q.method.as_str(), q.recovered), ("queue", "funnel", true));
+        assert_eq!(q.binding.as_deref(), Some("q"));
+        let funnel = acquisitions_of(&a, "lock");
+        assert_eq!(funnel.acquisitions.len(), 1);
+        assert_eq!(funnel.acquisitions[0].lock, "m");
+    }
+
+    #[test]
+    fn temporary_guard_region_ends_at_statement() {
+        let w = ws(&format!(
+            "{FUNNEL}\
+             struct Q {{ q: std::sync::Mutex<Vec<u64>> }}\n\
+             impl Q {{\n\
+               fn push(&self, x: u64) {{\n\
+                 recover(self.q.lock()).push(x);\n\
+                 after();\n\
+               }}\n\
+             }}\n\
+             fn after() {{}}\n"
+        ));
+        let a = Analysis::build(&w);
+        let p = acquisitions_of(&a, "push");
+        let acq = &p.acquisitions[0];
+        assert!(acq.binding.is_none());
+        assert_eq!(acq.chained.len(), 1, "push(x) is chained on the guard");
+        // The `after()` call is NOT inside the region.
+        let after = p.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(!acq.covers(after.ci), "region must end at the statement");
+    }
+
+    #[test]
+    fn bound_guard_region_ends_at_drop_and_rebinding() {
+        let w = ws(&format!(
+            "{FUNNEL}\
+             struct S {{ m: std::sync::Mutex<u64>, cv: std::sync::Condvar }}\n\
+             impl S {{\n\
+               fn dropped(&self) {{\n\
+                 let g = recover(self.m.lock());\n\
+                 touch(&g);\n\
+                 drop(g);\n\
+                 after();\n\
+               }}\n\
+               fn waits(&self) {{\n\
+                 let mut g = recover(self.m.lock());\n\
+                 while *g == 0 {{ g = recover(self.cv.wait(g)); }}\n\
+                 after();\n\
+               }}\n\
+             }}\n\
+             fn touch(_: &u64) {{}}\n\
+             fn after() {{}}\n"
+        ));
+        let a = Analysis::build(&w);
+        let d = acquisitions_of(&a, "dropped");
+        let acq = &d.acquisitions[0];
+        let touch = d.calls.iter().find(|c| c.name == "touch").unwrap();
+        let after = d.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(acq.covers(touch.ci));
+        assert!(!acq.covers(after.ci), "drop(g) ends the region");
+
+        let ww = acquisitions_of(&a, "waits");
+        let acq = &ww.acquisitions[0];
+        let wait = ww.calls.iter().find(|c| c.name == "wait").unwrap();
+        assert!(
+            !acq.covers(wait.ci),
+            "the rebinding `g = …` ends the region before the wait call"
+        );
+    }
+
+    #[test]
+    fn rwlock_read_write_and_indexing_receivers() {
+        let w = ws(&format!(
+            "{FUNNEL}\
+             struct S {{ snap: std::sync::RwLock<u64>, outs: Vec<std::sync::Mutex<u64>> }}\n\
+             impl S {{\n\
+               fn r(&self, i: usize) {{\n\
+                 let s = recover(self.snap.read());\n\
+                 let _ = *s;\n\
+                 *recover(self.outs[i].lock()) = 1;\n\
+               }}\n\
+             }}\n"
+        ));
+        let a = Analysis::build(&w);
+        let r = acquisitions_of(&a, "r");
+        assert_eq!(r.acquisitions.len(), 2);
+        assert_eq!(r.acquisitions[0].lock, "snap");
+        assert_eq!(r.acquisitions[0].method, "read");
+        assert_eq!(r.acquisitions[1].lock, "outs");
+        assert!(r.acquisitions[1].binding.is_none(), "leading `*` is a temporary");
+    }
+
+    #[test]
+    fn test_code_is_not_analyzed() {
+        let w = ws(&format!(
+            "{FUNNEL}\
+             #[cfg(test)]\nmod tests {{\n\
+               fn helper(m: &std::sync::Mutex<u64>) {{ let _ = m.lock().unwrap(); }}\n\
+             }}\n"
+        ));
+        let a = Analysis::build(&w);
+        assert!(a.fns.iter().all(|fa| a.def(fa).name != "helper"));
+    }
+}

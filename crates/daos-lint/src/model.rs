@@ -1,0 +1,467 @@
+//! The semantic source model: a brace-matched **item tree** over the
+//! token stream. Where the lexer answers "what is code?", this module
+//! answers "whose code is it?" — which module, which `impl` block,
+//! which function a token belongs to. It is the substrate the
+//! concurrency passes (call graph, guard regions, lock-order analysis)
+//! stand on.
+//!
+//! The model is deliberately shallow: it finds item *boundaries* by
+//! matching delimiters over the comment-free token stream, it does not
+//! parse expressions. Function bodies are `[open brace ..= close
+//! brace]` code-index ranges; nested named functions get their own
+//! entries (their tokens also lie inside the parent's range — callers
+//! that need disjoint spans use [`FnDef::is_nested`]). Closures are
+//! *not* items: a closure's tokens belong to the enclosing function,
+//! which is exactly what a lock-region analysis wants (the guard rules
+//! of the enclosing frame apply).
+//!
+//! The `#[cfg(test)]` masking discipline is inherited from
+//! [`SourceFile::parse`]: a function's [`FnDef::is_test`] flag is the
+//! mask at its `fn` keyword, and `tests/model_differential.rs` pins
+//! model spans against the token-stream mask on every workspace file,
+//! so live code cannot be silently skipped by the semantic passes.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One function (or method) definition found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` self-type's last path segment, for methods.
+    pub owner: Option<String>,
+    /// Enclosing `mod` names, outermost first.
+    pub modules: Vec<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_receiver: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Code index (into [`SourceFile::code`]) of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Code-index range of the body, `{` to `}` inclusive.
+    pub body: (usize, usize),
+    /// Whether the definition sits under `#[test]` / `#[cfg(test)]`.
+    pub is_test: bool,
+    /// Whether this definition lexically nests inside another one.
+    pub is_nested: bool,
+}
+
+impl FnDef {
+    /// `owner::name` (or just `name`) — the human-readable handle used
+    /// in finding messages.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The item tree of one file: every function definition, in source
+/// order, over the file's comment-free code-index space.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The file's comment-free token indices ([`SourceFile::code`]).
+    pub code: Vec<usize>,
+    /// Every function definition found, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+impl FileModel {
+    /// Build the item tree of `file`.
+    pub fn build(file: &SourceFile) -> FileModel {
+        Builder { f: file, code: file.code() }.run()
+    }
+
+    /// Token text at code index `ci` of `file` (must be the same file
+    /// the model was built from).
+    pub fn text<'f>(&self, file: &'f SourceFile, ci: usize) -> &'f str {
+        file.text(&file.tokens[self.code[ci]])
+    }
+
+    /// Token kind at code index `ci`.
+    pub fn kind(&self, file: &SourceFile, ci: usize) -> TokenKind {
+        file.tokens[self.code[ci]].kind
+    }
+
+    /// Token line at code index `ci`.
+    pub fn line(&self, file: &SourceFile, ci: usize) -> u32 {
+        file.tokens[self.code[ci]].line
+    }
+
+    /// Code index `ci` exists and its text is exactly `s`.
+    pub fn is(&self, file: &SourceFile, ci: usize, s: &str) -> bool {
+        ci < self.code.len() && self.text(file, ci) == s
+    }
+}
+
+/// Scope kinds tracked while walking the item tree.
+enum Scope {
+    Module(String),
+    Impl(Option<String>),
+}
+
+struct Builder<'f> {
+    f: &'f SourceFile,
+    code: Vec<usize>,
+}
+
+impl Builder<'_> {
+    fn text(&self, ci: usize) -> &str {
+        self.f.text(&self.f.tokens[self.code[ci]])
+    }
+
+    fn kind(&self, ci: usize) -> TokenKind {
+        self.f.tokens[self.code[ci]].kind
+    }
+
+    fn line(&self, ci: usize) -> u32 {
+        self.f.tokens[self.code[ci]].line
+    }
+
+    fn is(&self, ci: usize, s: &str) -> bool {
+        ci < self.code.len() && self.text(ci) == s
+    }
+
+    fn is_ident(&self, ci: usize, s: &str) -> bool {
+        ci < self.code.len() && self.kind(ci) == TokenKind::Ident && self.text(ci) == s
+    }
+
+    /// Find the code index of the `close` delimiter matching `open` at
+    /// `at` (which must hold `open`). `None` on malformed input.
+    fn match_close(&self, at: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0isize;
+        for ci in at..self.code.len() {
+            if self.kind(ci) != TokenKind::Punct {
+                continue;
+            }
+            let t = self.text(ci);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci);
+                }
+            }
+        }
+        None
+    }
+
+    fn run(self) -> FileModel {
+        let mut fns: Vec<FnDef> = Vec::new();
+        // (close code-index, scope) — popped once the walk passes close.
+        let mut scopes: Vec<(usize, Scope)> = Vec::new();
+        // Body close indices of fns currently open (for is_nested).
+        let mut open_fns: Vec<usize> = Vec::new();
+
+        let mut ci = 0;
+        while ci < self.code.len() {
+            while scopes.last().is_some_and(|(close, _)| ci > *close) {
+                scopes.pop();
+            }
+            while open_fns.last().is_some_and(|close| ci > *close) {
+                open_fns.pop();
+            }
+
+            if self.is_ident(ci, "mod") && ci + 1 < self.code.len()
+                && self.kind(ci + 1) == TokenKind::Ident
+            {
+                if self.is(ci + 2, "{") {
+                    if let Some(close) = self.match_close(ci + 2, "{", "}") {
+                        scopes.push((close, Scope::Module(self.text(ci + 1).to_string())));
+                        ci += 3; // descend into the module body
+                        continue;
+                    }
+                }
+                ci += 2; // `mod name;` declaration
+                continue;
+            }
+
+            if self.is_ident(ci, "impl") {
+                if let Some((self_ty, open)) = self.impl_header(ci) {
+                    if let Some(close) = self.match_close(open, "{", "}") {
+                        scopes.push((close, Scope::Impl(self_ty)));
+                        ci = open + 1; // descend into the impl body
+                        continue;
+                    }
+                }
+                ci += 1;
+                continue;
+            }
+
+            if self.is_ident(ci, "fn") && ci + 1 < self.code.len()
+                && self.kind(ci + 1) == TokenKind::Ident
+            {
+                if let Some(def) = self.fn_def(ci, &scopes, !open_fns.is_empty()) {
+                    let body_open = def.body.0;
+                    open_fns.push(def.body.1);
+                    fns.push(def);
+                    ci = body_open + 1; // descend into the body
+                    continue;
+                }
+                // Body-less declaration (trait method signature).
+                ci += 2;
+                continue;
+            }
+
+            ci += 1;
+        }
+        FileModel { code: self.code, fns }
+    }
+
+    /// Parse an `impl` header starting at `at`: returns the self-type's
+    /// last path segment (if identifiable) and the code index of the
+    /// body's `{`.
+    fn impl_header(&self, at: usize) -> Option<(Option<String>, usize)> {
+        // Scan to the body `{` at zero paren/bracket depth, tracking
+        // angle depth so `for` inside `for<'a>` bounds is not mistaken
+        // for the trait/self-type separator. `->` return arrows inside
+        // `Fn(..) -> R` bounds only occur at paren depth > 0, so a bare
+        // `>` at depth 0 is always a generic closer here.
+        let mut depth = 0isize; // (), []
+        let mut angle = 0isize;
+        let mut for_at: Option<usize> = None;
+        let mut open = None;
+        for ci in at + 1..self.code.len() {
+            let t = self.text(ci);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "<" if depth == 0 => angle += 1,
+                ">" if depth == 0 => angle -= 1,
+                "{" if depth == 0 && angle <= 0 => {
+                    open = Some(ci);
+                    break;
+                }
+                ";" if depth == 0 => return None,
+                "for" if depth == 0 && angle == 0 => for_at = Some(ci),
+                "where" if depth == 0 && angle == 0 => {
+                    // The self-type ends here; keep scanning for `{`.
+                    if open.is_none() && for_at.is_none() {
+                        // (type already fully seen; nothing to do)
+                    }
+                }
+                _ => {}
+            }
+        }
+        let open = open?;
+        // The self-type starts after `for` (trait impls) or after the
+        // optional generic parameter list (inherent impls).
+        let ty_start = match for_at {
+            Some(f) => f + 1,
+            None => {
+                if self.is(at + 1, "<") {
+                    // Skip the generic parameter list.
+                    let mut angle = 0isize;
+                    let mut depth = 0isize;
+                    let mut end = at + 1;
+                    for ci in at + 1..open {
+                        match self.text(ci) {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "<" if depth == 0 => angle += 1,
+                            ">" if depth == 0 => {
+                                angle -= 1;
+                                if angle == 0 {
+                                    end = ci;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    end + 1
+                } else {
+                    at + 1
+                }
+            }
+        };
+        // Last path-segment ident before generics/where/{.
+        let mut name = None;
+        let mut depth = 0isize;
+        for ci in ty_start..open {
+            let t = self.text(ci);
+            match t {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "where" if depth == 0 => break,
+                _ if depth == 0 && self.kind(ci) == TokenKind::Ident => {
+                    name = Some(t.to_string());
+                }
+                _ => {}
+            }
+        }
+        Some((name, open))
+    }
+
+    /// Parse a `fn` definition at `at` (`fn` keyword, name at `at+1`).
+    /// `None` if it has no body (trait method signature).
+    fn fn_def(&self, at: usize, scopes: &[(usize, Scope)], nested: bool) -> Option<FnDef> {
+        // Find the body `{` at zero paren/bracket depth; a `;` first
+        // means a body-less declaration.
+        let mut depth = 0isize;
+        let mut open = None;
+        for ci in at + 2..self.code.len() {
+            match self.text(ci) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(ci);
+                    break;
+                }
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        let open = open?;
+        let close = self.match_close(open, "{", "}")?;
+        // Receiver: the first paren group between name and body holds
+        // the parameters; a leading `self` (within the first few
+        // tokens: `self`, `&self`, `&mut self`, `&'a mut self`) marks a
+        // method.
+        let mut has_receiver = false;
+        for ci in at + 2..open {
+            if self.is(ci, "(") {
+                for p in ci + 1..(ci + 6).min(self.code.len()) {
+                    if self.is(p, ")") || self.is(p, ":") {
+                        break;
+                    }
+                    if self.is_ident(p, "self") {
+                        has_receiver = true;
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+        let owner = scopes.iter().rev().find_map(|(_, s)| match s {
+            Scope::Impl(t) => Some(t.clone()),
+            _ => None,
+        });
+        let modules = scopes
+            .iter()
+            .filter_map(|(_, s)| match s {
+                Scope::Module(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        Some(FnDef {
+            name: self.text(at + 1).to_string(),
+            owner: owner.flatten(),
+            modules,
+            has_receiver,
+            line: self.line(at),
+            fn_tok: at,
+            body: (open, close),
+            is_test: self.f.in_test[self.code[at]],
+            is_nested: nested,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> (SourceFile, FileModel) {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), Some("x".into()), src.into());
+        let m = FileModel::build(&f);
+        (f, m)
+    }
+
+    #[test]
+    fn finds_free_fns_methods_and_modules() {
+        let (_, m) = model(
+            "pub fn free(x: u8) -> u8 { x }\n\
+             pub struct S;\n\
+             impl S {\n  pub fn method(&self) -> u8 { 1 }\n  fn assoc() {}\n}\n\
+             mod inner {\n  pub fn deep() {}\n}\n",
+        );
+        let names: Vec<(String, Option<String>, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone(), f.has_receiver))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, false),
+                ("method".into(), Some("S".into()), true),
+                ("assoc".into(), Some("S".into()), false),
+                ("deep".into(), None, false),
+            ]
+        );
+        assert_eq!(m.fns[3].modules, vec!["inner".to_string()]);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_self_type() {
+        let (_, m) = model(
+            "impl<T: Clone> Iterator for Wrap<T> where T: Default {\n\
+             fn next(&mut self) -> Option<T> { None }\n}\n\
+             impl From<u8> for Wrap<u8> { fn from(x: u8) -> Self { todo!() } }\n",
+        );
+        assert_eq!(m.fns[0].owner.as_deref(), Some("Wrap"));
+        assert_eq!(m.fns[1].owner.as_deref(), Some("Wrap"));
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body_and_are_skipped() {
+        let (_, m) = model(
+            "trait T {\n  fn sig(&self) -> u8;\n  fn with_default(&self) -> u8 { 0 }\n}\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_definitions() {
+        let (_, m) = model("pub fn real(cb: fn(u8) -> u8) -> u8 { cb(1) }\n");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "real");
+    }
+
+    #[test]
+    fn generic_fn_bounds_do_not_confuse_the_body_finder() {
+        let (f, m) = model(
+            "pub fn apply<F: Fn(u8) -> u8>(f: F) -> u8 { f(2) }\n\
+             pub fn after() {}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        let body = m.fns[0].body;
+        assert!(m.is(&f, body.0, "{") && m.is(&f, body.1, "}"));
+        assert_eq!(m.fns[1].name, "after");
+    }
+
+    #[test]
+    fn nested_fns_are_modelled_and_flagged() {
+        let (_, m) = model("fn outer() {\n  fn inner() {}\n  inner();\n}\n");
+        assert_eq!(m.fns.len(), 2);
+        assert!(!m.fns[0].is_nested);
+        assert!(m.fns[1].is_nested);
+        // The inner body nests inside the outer body range.
+        assert!(m.fns[1].body.0 > m.fns[0].body.0 && m.fns[1].body.1 < m.fns[0].body.1);
+    }
+
+    #[test]
+    fn test_mask_flows_into_fn_defs() {
+        let (_, m) = model(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn masked() {}\n}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+
+    #[test]
+    fn strings_with_braces_do_not_break_matching() {
+        let (_, m) = model(
+            "fn a() { let s = \"}}}{{\"; let r = r#\"fn fake() {}\"#; }\nfn b() {}\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -28,13 +28,59 @@ fn violations_fixture_trips_every_lint() {
 
     assert_eq!(count(&findings, "no-print"), 2, "{ctx}");
     assert_eq!(count(&findings, "no-registry-deps"), 3, "{ctx}");
-    assert_eq!(count(&findings, "panic-discipline"), 3, "{ctx}");
+    assert_eq!(count(&findings, "panic-discipline"), 4, "{ctx}");
     assert_eq!(count(&findings, "determinism"), 2, "{ctx}");
     assert_eq!(count(&findings, "atomic-ordering"), 2, "{ctx}");
     assert_eq!(count(&findings, "dead-tracepoint"), 1, "{ctx}");
     assert_eq!(count(&findings, "metric-name-discipline"), 1, "{ctx}");
     assert_eq!(count(&findings, "annotation"), 1, "{ctx}");
-    assert_eq!(findings.len(), 15, "{ctx}");
+    assert_eq!(count(&findings, "lock-order"), 1, "{ctx}");
+    assert_eq!(count(&findings, "blocking-under-lock"), 2, "{ctx}");
+    assert_eq!(count(&findings, "guard-discipline"), 1, "{ctx}");
+    assert_eq!(findings.len(), 20, "{ctx}");
+}
+
+#[test]
+fn violations_fixture_concurrency_details() {
+    let findings = lint("violations");
+    let ctx: Vec<String> = findings.iter().map(Finding::render).collect();
+    let ctx = ctx.join("\n");
+
+    // The AB/BA deadlock is reported as a cycle with a witness path
+    // naming both functions and both legs.
+    let deadlock = findings
+        .iter()
+        .find(|f| f.lint == "lock-order")
+        .expect("deadlock finding present");
+    assert_eq!(deadlock.file, "crates/app/src/sync.rs", "{ctx}");
+    assert!(deadlock.message.contains("potential deadlock"), "{ctx}");
+    assert!(deadlock.message.contains("`a` -> `b` -> `a`"), "{ctx}");
+    assert!(deadlock.message.contains("Pair::ab"), "{ctx}");
+    assert!(deadlock.message.contains("Pair::ba"), "{ctx}");
+
+    // Blocking under a live guard: the sleep, and the wait on a
+    // *different* lock's condition (`crossed_wait` pins `a` while
+    // waiting on `b`).
+    let blocking: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.lint == "blocking-under-lock")
+        .collect();
+    assert!(blocking.iter().any(|f| f.message.contains("`sleep`")), "{ctx}");
+    assert!(
+        blocking
+            .iter()
+            .any(|f| f.message.contains("`wait`") && f.message.contains("Pair::crossed_wait")),
+        "{ctx}"
+    );
+
+    // The bare `.lock().unwrap()` trips guard-discipline (and
+    // panic-discipline, counted above).
+    let guard = findings
+        .iter()
+        .find(|f| f.lint == "guard-discipline")
+        .expect("guard finding present");
+    assert!(guard.message.contains("Pair::bare"), "{ctx}");
+    assert!(guard.message.contains("poison"), "{ctx}");
 }
 
 #[test]
@@ -68,11 +114,12 @@ fn violations_fixture_details() {
         .iter()
         .any(|f| f.lint == "panic-discipline" && f.line > half_line));
 
-    // Test-module unwraps are masked: every panic finding sits before
-    // the fixture's `#[cfg(test)]` module.
+    // Test-module unwraps are masked: every panic finding in the
+    // daos-mm fixture file sits before its `#[cfg(test)]` module.
     assert!(findings
         .iter()
-        .filter(|f| f.lint == "panic-discipline")
+        .filter(|f| f.lint == "panic-discipline"
+            && f.file == "crates/daos-mm/src/lib.rs")
         .all(|f| f.line < 21));
 }
 

@@ -1,0 +1,108 @@
+//! Fixture: concurrency bait — code shaped like violations that the
+//! semantic passes must NOT flag: guards dropped before I/O, waits on
+//! their own lock, consistent acquisition order, raw strings full of
+//! `.lock()` text, and annotated exceptions. Never compiled — only
+//! lexed.
+
+use std::io::Write;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct State {
+    a: Mutex<u64>,
+    b: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+impl State {
+    /// Guard dropped before the blocking call: clean.
+    pub fn drop_then_io(&self, out: &mut std::net::TcpStream) {
+        let g = recover(self.a.lock());
+        let n = *g;
+        drop(g);
+        out.write_all(&n.to_be_bytes());
+        out.flush();
+    }
+
+    /// A temporary guard's region ends at its statement: the sleep
+    /// after it is not "under" the lock.
+    pub fn temp_then_sleep(&self) {
+        recover(self.b.lock()).push(1);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    /// The condition-variable idiom: waiting on the guard's own lock
+    /// is exactly what `Condvar::wait` is for.
+    pub fn wait_own_lock(&self) -> u64 {
+        let mut g = recover(self.a.lock());
+        while *g == 0 {
+            g = recover(self.cv.wait(g));
+        }
+        *g
+    }
+
+    /// Same idiom through `wait_timeout`, pump-loop style.
+    pub fn wait_own_lock_timed(&self) {
+        let mut g = lock(&self.a);
+        loop {
+            if *g != 0 {
+                break;
+            }
+            g = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Consistent `a` then `b` nesting here …
+    pub fn both_forward(&self) -> u64 {
+        let ga = lock(&self.a);
+        let gb = recover(self.b.lock());
+        *ga + gb.len() as u64
+    }
+
+    /// … and the same order everywhere else: edges, but no cycle.
+    pub fn also_forward(&self) -> u64 {
+        let ga = recover(self.a.lock());
+        let gb = lock(&self.b);
+        *ga - gb.len() as u64
+    }
+
+    /// The reversed order here is justified: `b` is private to this
+    /// type and never escapes while `a` is wanted (fixture pins the
+    /// edge-level allow).
+    pub fn reversed_annotated(&self) -> u64 {
+        let gb = lock(&self.b);
+        let ga = lock(&self.a); // lint: allow(lock-order, fixture exercises the edge-level allow)
+        *ga + gb.len() as u64
+    }
+
+    /// A justified blocking call under a guard.
+    pub fn justified_nap(&self) {
+        let g = lock(&self.a);
+        // lint: allow(blocking, fixture exercises the blocking allow key)
+        std::thread::sleep(std::time::Duration::from_millis(*g));
+        drop(g);
+    }
+
+    /// A justified bare unwrap (guard + panic both annotated).
+    pub fn justified_bare(&self) -> u64 {
+        // lint: allow(guard, fixture exercises the guard allow key)
+        *self.a.lock().unwrap() // lint: allow(panic, fixture pairs with the guard allow above)
+    }
+}
+
+/// Raw strings and comments full of violation-shaped text are data.
+pub fn raw_lock_bait() -> &'static str {
+    // Looks like trouble: self.a.lock().unwrap() — but it is a comment.
+    r##"let g = self.a.lock().unwrap(); recover(self.b.lock()); thread::sleep(d); r#"nested .lock() raw"# still the same string"##
+}

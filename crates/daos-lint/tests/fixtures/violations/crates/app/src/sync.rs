@@ -1,0 +1,54 @@
+//! Fixture: concurrency violations for the semantic passes — an AB/BA
+//! lock-order deadlock, blocking calls under live guards, and a bare
+//! `.lock().unwrap()`. Never compiled — only lexed.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Pair {
+    /// Acquires `a` then `b` …
+    pub fn ab(&self) -> u64 {
+        let ga = recover(self.a.lock());
+        let gb = recover(self.b.lock());
+        *ga + *gb
+    }
+
+    /// … while this one acquires `b` then `a`: the classic deadlock.
+    pub fn ba(&self) -> u64 {
+        let gb = recover(self.b.lock());
+        let ga = recover(self.a.lock());
+        *gb - *ga
+    }
+
+    /// Sleeping while `a` is held convoys every other `a` user.
+    pub fn nap(&self) {
+        let g = recover(self.a.lock());
+        std::thread::sleep(Duration::from_millis(*g));
+        drop(g);
+    }
+
+    /// Waiting on `b`'s condition releases `b` — but pins `a`.
+    pub fn crossed_wait(&self) {
+        let ga = recover(self.a.lock());
+        let mut gb = recover(self.b.lock());
+        while *gb == 0 {
+            gb = recover(self.cv.wait(gb));
+        }
+        let _ = *ga;
+    }
+
+    /// A poisoned `a` panics a second time here.
+    pub fn bare(&self) -> u64 {
+        *self.a.lock().unwrap()
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential pin: the semantic item tree (`model.rs`) agrees with a
+//! deliberately independent, flat scan of the token stream on every
+//! workspace file. The flat scan knows nothing about modules, impls,
+//! or nesting — it just finds every `fn <ident>` pair that reaches a
+//! `{` before a `;` at zero paren/bracket depth. If the model ever
+//! skipped a live function (a brace-matching bug, an impl header it
+//! cannot parse), the concurrency passes would silently not analyze
+//! it; this test makes that a loud failure instead.
+//!
+//! Also pinned: the model's `is_test` flag equals the token-stream
+//! `#[cfg(test)]` mask at the `fn` keyword — the masking discipline
+//! both layers must share.
+
+use daos_lint::lexer::TokenKind;
+use daos_lint::model::FileModel;
+use daos_lint::{SourceFile, Workspace};
+use std::path::Path;
+
+fn workspace() -> Workspace {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root");
+    Workspace::load(root).expect("workspace loads")
+}
+
+/// The independent oracle: `(line, is_test)` of every function
+/// definition that has a body, found without any item-tree machinery.
+fn flat_fn_scan(f: &SourceFile) -> Vec<(u32, bool)> {
+    let code = f.code();
+    let text = |ci: usize| f.text(&f.tokens[code[ci]]);
+    let kind = |ci: usize| f.tokens[code[ci]].kind;
+    let mut out = Vec::new();
+    for ci in 0..code.len() {
+        if !(kind(ci) == TokenKind::Ident && text(ci) == "fn") {
+            continue;
+        }
+        if ci + 1 >= code.len() || kind(ci + 1) != TokenKind::Ident {
+            continue; // `fn(u8) -> u8` pointer type
+        }
+        // Reach a body `{` at zero paren/bracket depth before any `;`.
+        let mut depth = 0isize;
+        let mut has_body = false;
+        for j in ci + 2..code.len() {
+            match text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    has_body = true;
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if has_body {
+            out.push((f.tokens[code[ci]].line, f.in_test[code[ci]]));
+        }
+    }
+    out
+}
+
+#[test]
+fn model_fn_spans_agree_with_flat_scan_on_every_file() {
+    let ws = workspace();
+    assert!(ws.files.len() > 50, "workspace scan looks wrong");
+    let mut total = 0usize;
+    for file in &ws.files {
+        let model = FileModel::build(file);
+        let flat = flat_fn_scan(file);
+        let modelled: Vec<(u32, bool)> =
+            model.fns.iter().map(|d| (d.line, d.is_test)).collect();
+        assert_eq!(
+            modelled, flat,
+            "item tree and flat scan disagree in {}",
+            file.rel
+        );
+        total += flat.len();
+    }
+    assert!(total > 500, "only {total} fns across the workspace — scan broken?");
+}
+
+#[test]
+fn model_bodies_are_well_formed_brace_ranges() {
+    let ws = workspace();
+    for file in &ws.files {
+        let model = FileModel::build(file);
+        for d in &model.fns {
+            assert!(d.body.0 < d.body.1, "{}: empty body range", file.rel);
+            assert!(
+                model.is(file, d.body.0, "{") && model.is(file, d.body.1, "}"),
+                "{}: `{}` body range is not brace-delimited",
+                file.rel,
+                d.name
+            );
+        }
+        // Distinct fns' bodies either nest fully or are disjoint —
+        // a partial overlap would mean brace matching went wrong.
+        for (i, x) in model.fns.iter().enumerate() {
+            for y in model.fns.iter().skip(i + 1) {
+                let nested = (y.body.0 > x.body.0 && y.body.1 < x.body.1)
+                    || (x.body.0 > y.body.0 && x.body.1 < y.body.1);
+                let disjoint = y.body.0 > x.body.1 || x.body.0 > y.body.1;
+                assert!(
+                    nested || disjoint,
+                    "{}: `{}` and `{}` bodies partially overlap",
+                    file.rel,
+                    x.name,
+                    y.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_code_is_never_silently_skipped() {
+    // Every *live* function the flat scan sees must be analyzed:
+    // non-test in the model too, with matching receiver information
+    // derivable (has_receiver implies a parameter list).
+    let ws = workspace();
+    let mut live = 0usize;
+    for file in &ws.files {
+        let model = FileModel::build(file);
+        for d in model.fns.iter().filter(|d| !d.is_test) {
+            live += 1;
+            assert_eq!(
+                d.is_test,
+                file.in_test[model.code[d.fn_tok]],
+                "{}: `{}` mask mismatch",
+                file.rel,
+                d.name
+            );
+        }
+    }
+    assert!(live > 400, "only {live} live fns — the mask ate the workspace?");
+}

@@ -48,6 +48,82 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn workspace_concurrency_surface_is_actually_analyzed() {
+    // "Lint-clean" must mean "analyzed and clean", not "analysis saw
+    // nothing". Pin that the guard analysis finds the poison funnels
+    // and a realistic number of acquisition sites across the four
+    // concurrent crates — all of them recovered.
+    let ws = daos_lint::Workspace::load(&repo_root()).expect("repo loads");
+    let a = daos_lint::locks::Analysis::build(&ws);
+    assert!(a.funnels.contains("recover"), "daos_util::pool::recover not detected");
+    assert!(a.funnels.contains("lock"), "the lock(&Mutex) funnels not detected");
+    let acqs: Vec<_> = a.fns.iter().flat_map(|f| f.acquisitions.iter()).collect();
+    assert!(acqs.len() >= 40, "only {} acquisitions found — analysis broken?", acqs.len());
+    assert!(
+        acqs.iter().all(|q| q.recovered),
+        "every workspace acquisition flows through a poison funnel"
+    );
+    for rel in [
+        "crates/daos-util/src/pool.rs",
+        "crates/daos-obs/src/server.rs",
+        "crates/daos-obs/src/publisher.rs",
+        "crates/daos/src/fleet.rs",
+    ] {
+        let fi = ws.files.iter().position(|f| f.rel == rel).expect("file present");
+        let n: usize = a
+            .fns
+            .iter()
+            .filter(|f| f.file == fi)
+            .map(|f| f.acquisitions.len())
+            .sum();
+        assert!(n > 0, "{rel}: no acquisitions found");
+    }
+}
+
+#[test]
+fn binary_lists_and_filters_passes() {
+    let (code, stdout, _) = run(&["--list-passes"]);
+    assert_eq!(code, 0);
+    let listed: Vec<&str> = stdout.lines().collect();
+    let expected: Vec<&str> =
+        daos_lint::all_passes().iter().map(|p| p.name()).collect::<Vec<_>>();
+    assert_eq!(listed, expected, "--list-passes must mirror all_passes()");
+    for new in ["lock-order", "blocking-under-lock", "guard-discipline"] {
+        assert!(listed.contains(&new), "{new} missing from --list-passes");
+    }
+
+    // A single-pass run over the violations fixture reports only that
+    // pass's findings.
+    let dirty = fixture("violations");
+    let (code, stdout, _) = run(&[
+        "--pass",
+        "lock-order",
+        "--root",
+        dirty.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(code, 65, "{stdout}");
+    assert!(stdout.contains("[lock-order]"), "{stdout}");
+    assert!(!stdout.contains("[no-print]"), "--pass must filter: {stdout}");
+
+    let (code, _, stderr) = run(&["--pass", "bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown pass"), "{stderr}");
+}
+
+#[test]
+fn binary_output_is_deterministic() {
+    let dirty = fixture("violations");
+    let args = ["--json", "--root", dirty.to_str().expect("utf-8 path")];
+    let (_, first, _) = run(&args);
+    let (_, second, _) = run(&args);
+    assert_eq!(first, second, "repeat runs must be byte-identical");
+    // The report advertises the concurrency passes in its lint list.
+    for name in ["lock-order", "blocking-under-lock", "guard-discipline"] {
+        assert!(first.contains(&format!("\"{name}\"")), "{name} not in lints: {first}");
+    }
+}
+
+#[test]
 fn binary_is_clean_and_quietly_successful_on_this_repo() {
     let root = repo_root();
     let (code, stdout, _) = run(&["--root", root.to_str().expect("utf-8 path")]);

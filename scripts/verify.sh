@@ -3,8 +3,9 @@
 # the in-tree static analysis (`daos-lint`) that machine-checks the
 # workspace invariants: no registry (non-path) dependencies, no printing
 # from library code, panic discipline, deterministic simulation crates,
-# justified atomic orderings, no dead tracepoints, and machine-parseable
-# metric keys.
+# justified atomic orderings, no dead tracepoints, machine-parseable
+# metric keys, and the semantic concurrency passes — lock-order cycles,
+# blocking calls under live guards, and poison-funnel guard discipline.
 #
 # The workspace must build from a clean clone with no network and an
 # empty registry cache; every dependency is an in-tree path dependency
@@ -30,13 +31,26 @@ echo "ok"
 echo "== daos-lint: workspace invariants =="
 # The token-level replacement for the old awk/grep guards: a
 # comment/string-aware lexer, so doc examples and multiline macro calls
-# can neither false-positive nor slip through. See DESIGN.md §11.
+# can neither false-positive nor slip through. See DESIGN.md §11; the
+# concurrency passes (semantic model + call graph) are DESIGN.md §16.
 lint_out=$(cargo run -q -p daos-lint --release --offline -- --json) || {
     echo "$lint_out"
     echo "FAIL: daos-lint found workspace-invariant violations"
     echo "(run 'cargo run -p daos-lint --release' for the human-readable list)"
     exit 1
 }
+# "Clean" must mean the concurrency passes actually ran: the report's
+# lint roster has to advertise them, or the gate is vacuous.
+for pass in lock-order blocking-under-lock guard-discipline; do
+    case "$lint_out" in
+        *"\"$pass\""*) ;;
+        *)
+            echo "$lint_out"
+            echo "FAIL: daos-lint --json lint roster lacks the $pass pass"
+            exit 1
+            ;;
+    esac
+done
 echo "ok"
 
 echo "== golden: fixed-seed trace reports are byte-stable =="
